@@ -1,0 +1,293 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// figure (reduced-scale sweeps whose improvement percentages are
+// reported as custom metrics) plus one per ablation and micro
+// benchmarks of the substrates. Full paper-scale tables are produced
+// by cmd/edgesim (-full); see EXPERIMENTS.md.
+package edgesched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/experiment"
+	"repro/internal/linksched"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// benchConfig is the reduced sweep used by the figure benchmarks:
+// small enough to iterate, large enough that the paper's trends are
+// visible in the reported metrics.
+func benchConfig() experiment.Config {
+	return experiment.Config{
+		Reps:     1,
+		Seed:     2006,
+		MinTasks: 150,
+		MaxTasks: 250,
+		Procs:    []int{8, 32},
+		CCRs:     []float64{0.5, 2, 8},
+	}
+}
+
+func benchFigure(b *testing.B, n int) {
+	b.Helper()
+	var last *experiment.Sweep
+	for i := 0; i < b.N; i++ {
+		sw, err := experiment.Figure(n, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sw
+	}
+	// Report the mean improvement over all points as custom metrics so
+	// the bench run doubles as a figure regeneration check.
+	for _, name := range last.Algorithms[1:] {
+		sum := 0.0
+		for _, pt := range last.Points {
+			sum += pt.Improvement[name].Mean
+		}
+		b.ReportMetric(sum/float64(len(last.Points)), name+"_improv_%")
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (homogeneous, improvement vs
+// CCR) at reduced scale.
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, 1) }
+
+// BenchmarkFigure2 regenerates Figure 2 (homogeneous, improvement vs
+// machine size) at reduced scale.
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, 2) }
+
+// BenchmarkFigure3 regenerates Figure 3 (heterogeneous, improvement vs
+// CCR) at reduced scale.
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, 3) }
+
+// BenchmarkFigure4 regenerates Figure 4 (heterogeneous, improvement vs
+// machine size) at reduced scale.
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, 4) }
+
+func benchAblation(b *testing.B, key string) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Procs = []int{16}
+	cfg.CCRs = []float64{2}
+	var last *experiment.AblationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Ablation(key, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, name := range last.Algorithms[1:] {
+		b.ReportMetric(last.Improvement[name].Mean, "improv_%_"+name)
+	}
+}
+
+// BenchmarkAblationRouting compares BFS vs modified Dijkstra (A1).
+func BenchmarkAblationRouting(b *testing.B) { benchAblation(b, "routing") }
+
+// BenchmarkAblationInsertion compares basic vs optimal insertion (A2).
+func BenchmarkAblationInsertion(b *testing.B) { benchAblation(b, "insertion") }
+
+// BenchmarkAblationEdgeOrder compares edge scheduling orders (A3).
+func BenchmarkAblationEdgeOrder(b *testing.B) { benchAblation(b, "edgeorder") }
+
+// BenchmarkAblationClassic compares replayed classic schedules (A4).
+func BenchmarkAblationClassic(b *testing.B) { benchAblation(b, "classic") }
+
+// BenchmarkAblationProcChoice compares processor selections (A5).
+func BenchmarkAblationProcChoice(b *testing.B) { benchAblation(b, "procchoice") }
+
+// BenchmarkAblationCommStart compares at-ready vs eager starts (A6).
+func BenchmarkAblationCommStart(b *testing.B) { benchAblation(b, "commstart") }
+
+// --- single-instance scheduling benchmarks -------------------------
+
+func benchInstance() workload.Instance {
+	return workload.Generate(workload.Params{
+		Processors: 32, CCR: 2, MinTasks: 300, MaxTasks: 300, Seed: 42,
+	})
+}
+
+func benchAlgorithm(b *testing.B, a sched.Algorithm) {
+	b.Helper()
+	inst := benchInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := a.Schedule(inst.Graph, inst.Net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Makespan <= 0 {
+			b.Fatal("empty makespan")
+		}
+	}
+}
+
+// BenchmarkScheduleBA times BA on one 300-task, 32-processor instance.
+func BenchmarkScheduleBA(b *testing.B) { benchAlgorithm(b, sched.NewBA()) }
+
+// BenchmarkScheduleBASinnen times the strong EFT baseline.
+func BenchmarkScheduleBASinnen(b *testing.B) { benchAlgorithm(b, sched.NewBASinnen()) }
+
+// BenchmarkScheduleOIHSA times OIHSA on the same instance.
+func BenchmarkScheduleOIHSA(b *testing.B) { benchAlgorithm(b, sched.NewOIHSA()) }
+
+// BenchmarkScheduleBBSA times BBSA on the same instance.
+func BenchmarkScheduleBBSA(b *testing.B) { benchAlgorithm(b, sched.NewBBSA()) }
+
+// BenchmarkScheduleClassic times the contention-free baseline.
+func BenchmarkScheduleClassic(b *testing.B) { benchAlgorithm(b, sched.NewClassic()) }
+
+// BenchmarkSchedulePackets times the packetized-message engine on the
+// OIHSA stack.
+func BenchmarkSchedulePackets(b *testing.B) {
+	opts := sched.NewOIHSA().Opts
+	opts.Engine = sched.EnginePackets
+	opts.Insertion = sched.InsertionBasic
+	opts.PacketSize = 100
+	benchAlgorithm(b, sched.NewCustom("OIHSA/packets", opts))
+}
+
+// BenchmarkAblationPacketSize compares packetization policies (A10).
+func BenchmarkAblationPacketSize(b *testing.B) { benchAblation(b, "packetsize") }
+
+// BenchmarkAblationSwitching compares cut-through vs store-and-forward (A8).
+func BenchmarkAblationSwitching(b *testing.B) { benchAblation(b, "switching") }
+
+// BenchmarkAblationHopDelay sweeps the per-hop delay (A7).
+func BenchmarkAblationHopDelay(b *testing.B) { benchAblation(b, "hopdelay") }
+
+// BenchmarkAblationTaskPolicy compares append vs insertion tasks (A9).
+func BenchmarkAblationTaskPolicy(b *testing.B) { benchAblation(b, "taskpolicy") }
+
+// BenchmarkAblationPriority compares task priority schemes (A11).
+func BenchmarkAblationPriority(b *testing.B) { benchAblation(b, "priority") }
+
+// BenchmarkAblationDuplication measures source-task duplication (A12).
+func BenchmarkAblationDuplication(b *testing.B) { benchAblation(b, "duplication") }
+
+// --- substrate micro benchmarks -------------------------------------
+
+// BenchmarkTimelineInsertBasic measures basic insertion on a loaded
+// timeline.
+func BenchmarkTimelineInsertBasic(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	reqs := make([]linksched.Request, 512)
+	for i := range reqs {
+		es := r.Float64() * 1000
+		reqs[i] = linksched.Request{ES: es, PF: es, Dur: r.Float64()*10 + 0.1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl := linksched.NewTimeline()
+		for j, req := range reqs {
+			tl.InsertBasic(linksched.Owner{Edge: j}, req)
+		}
+	}
+}
+
+// BenchmarkTimelineInsertOptimal measures optimal insertion with a
+// constant-slack oracle.
+func BenchmarkTimelineInsertOptimal(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	reqs := make([]linksched.Request, 512)
+	for i := range reqs {
+		es := r.Float64() * 1000
+		reqs[i] = linksched.Request{ES: es, PF: es, Dur: r.Float64()*10 + 0.1}
+	}
+	slack := func(linksched.Owner) float64 { return 5 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl := linksched.NewTimeline()
+		for j, req := range reqs {
+			tl.InsertOptimal(linksched.Owner{Edge: j}, req, slack)
+		}
+	}
+}
+
+// BenchmarkBandwidthAllocForward measures BBSA's chunk engine across a
+// two-link route.
+func BenchmarkBandwidthAllocForward(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	type job struct{ es, vol float64 }
+	jobs := make([]job, 256)
+	for i := range jobs {
+		jobs[i] = job{es: r.Float64() * 500, vol: r.Float64()*50 + 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		up := linksched.NewBWTimeline()
+		down := linksched.NewBWTimeline()
+		for j, jb := range jobs {
+			cs := up.Alloc(linksched.Owner{Edge: j, Leg: 0}, jb.es, jb.vol, 2, 0)
+			down.Forward(linksched.Owner{Edge: j, Leg: 1}, cs, 2, 1, 0)
+		}
+	}
+}
+
+// BenchmarkBFSRoute measures minimal routing on a 64-processor WAN.
+func BenchmarkBFSRoute(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	top := network.RandomCluster(r, network.RandomClusterParams{Processors: 64})
+	ps := top.Processors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := ps[i%len(ps)]
+		dst := ps[(i*7+3)%len(ps)]
+		if _, err := top.BFSRoute(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDijkstraRoute measures modified-Dijkstra routing with an
+// arithmetic relax on the same WAN.
+func BenchmarkDijkstraRoute(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	top := network.RandomCluster(r, network.RandomClusterParams{Processors: 64})
+	ps := top.Processors()
+	relax := func(l network.Link, cur network.Label) network.Label {
+		f := cur.Finish + 10/l.Speed
+		return network.Label{Start: cur.Start, Finish: f}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := ps[i%len(ps)]
+		dst := ps[(i*7+3)%len(ps)]
+		if _, _, err := top.DijkstraRoute(src, dst, network.Label{}, relax); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerate measures §6 instance generation.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inst := workload.Generate(workload.Params{
+			Processors: 32, CCR: 2, MinTasks: 300, MaxTasks: 300, Seed: int64(i),
+		})
+		if inst.Graph.NumTasks() != 300 {
+			b.Fatal("bad instance")
+		}
+	}
+}
+
+// BenchmarkBottomLevels measures priority computation on a large DAG.
+func BenchmarkBottomLevels(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    2000,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 1000},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 1000},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.BottomLevels(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

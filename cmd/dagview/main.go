@@ -1,0 +1,118 @@
+// Command dagview generates task graphs and prints statistics or
+// Graphviz DOT for inspection.
+//
+// Usage:
+//
+//	dagview -kind random -tasks 50 -ccr 2
+//	dagview -kind fft -size 3 -dot > fft.dot
+//	dagview -kind gauss -size 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/graphio"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "random", "graph kind: random, chain, forkjoin, diamond, intree, outtree, fft, gauss, laplace, stencil, lu, cholesky, divconq, mapreduce, sp, montage, epigenomics")
+		tasks    = flag.Int("tasks", 50, "tasks for random graphs")
+		size     = flag.Int("size", 4, "size parameter: chain length, fork width, tree depth, fft log2 points, matrix n, grid n")
+		degree   = flag.Int("degree", 2, "tree degree")
+		taskCost = flag.Float64("task-cost", 10, "task cost for regular graphs")
+		edgeCost = flag.Float64("edge-cost", 10, "edge cost for regular graphs")
+		ccr      = flag.Float64("ccr", 0, "rescale edge costs to this CCR (0 = keep)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		asJSON   = flag.Bool("json", false, "emit the graph as JSON (loadable by schedview -dag)")
+	)
+	flag.Parse()
+
+	var g *dag.Graph
+	switch strings.ToLower(*kind) {
+	case "random":
+		r := rand.New(rand.NewSource(*seed))
+		g = dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    *tasks,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 1000},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 1000},
+		})
+	case "chain":
+		g = dag.Chain(*size, *taskCost, *edgeCost)
+	case "forkjoin":
+		g = dag.ForkJoin(*size, *taskCost, *edgeCost)
+	case "diamond":
+		g = dag.Diamond(*taskCost, *edgeCost)
+	case "intree":
+		g = dag.InTree(*degree, *size, *taskCost, *edgeCost)
+	case "outtree":
+		g = dag.OutTree(*degree, *size, *taskCost, *edgeCost)
+	case "fft":
+		g = dag.FFT(*size, *taskCost, *edgeCost)
+	case "gauss":
+		g = dag.GaussianElimination(*size, *taskCost, *edgeCost)
+	case "laplace":
+		g = dag.Laplace(*size, *taskCost, *edgeCost)
+	case "stencil":
+		g = dag.Stencil(*size, *size, *taskCost, *edgeCost)
+	case "lu":
+		g = dag.LU(*size, *taskCost, *edgeCost)
+	case "cholesky":
+		g = dag.Cholesky(*size, *taskCost, *edgeCost)
+	case "divconq":
+		g = dag.DivideConquer(*size, *taskCost, *taskCost, *taskCost, *edgeCost)
+	case "mapreduce":
+		g = dag.MapReduce(*size, (*size+1)/2, *taskCost, *taskCost, *edgeCost)
+	case "montage":
+		g = dag.Montage(*size, *taskCost, *edgeCost)
+	case "epigenomics":
+		g = dag.Epigenomics(*size, *size, *taskCost, *edgeCost)
+	case "sp":
+		r := rand.New(rand.NewSource(*seed))
+		g = dag.RandomSeriesParallel(r, *size,
+			dag.CostDist{Lo: 1, Hi: 1000}, dag.CostDist{Lo: 1, Hi: 1000})
+	default:
+		fatal(fmt.Errorf("unknown graph kind %q", *kind))
+	}
+	if *ccr > 0 {
+		g.ScaleToCCR(*ccr)
+	}
+	if err := g.Validate(); err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := trace.WriteDAGDOT(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *asJSON {
+		if err := graphio.WriteGraph(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	cp, _ := g.CriticalPathLength()
+	fmt.Printf("%s graph: %v\n", *kind, g)
+	fmt.Printf("sources=%d sinks=%d\n", len(g.Sources()), len(g.Sinks()))
+	fmt.Printf("total computation=%.4g total communication=%.4g\n", g.TotalTaskCost(), g.TotalEdgeCost())
+	fmt.Printf("critical path (incl. communication)=%.4g\n", cp)
+	order, _ := g.PriorityOrder()
+	n := len(order)
+	if n > 10 {
+		n = 10
+	}
+	fmt.Printf("first %d tasks by priority: %v\n", n, order[:n])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command edgecompare runs every scheduler in the library — the
+// paper's three, the stronger baselines, the model extensions, and
+// optionally the metaheuristic refiners — over a common grid of random
+// instances and prints a league table of mean makespans normalized to
+// BA.
+//
+// Usage:
+//
+//	edgecompare -procs 16 -ccrs 0.5,2,8 -reps 3
+//	edgecompare -hetero -refiners
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/refine"
+	"repro/internal/sched"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+type contender struct {
+	name string
+	run  func(inst workload.Instance) (float64, error)
+}
+
+func algoContender(a sched.Algorithm) contender {
+	return contender{name: a.Name(), run: func(inst workload.Instance) (float64, error) {
+		s, err := a.Schedule(inst.Graph, inst.Net)
+		if err != nil {
+			return 0, err
+		}
+		if res := verify.Verify(s); !res.OK() {
+			return 0, fmt.Errorf("%s: %v", a.Name(), res.Err())
+		}
+		return s.Makespan, nil
+	}}
+}
+
+func main() {
+	var (
+		procs    = flag.Int("procs", 16, "processors per instance")
+		ccrs     = flag.String("ccrs", "0.5,2,8", "comma-separated CCR values")
+		reps     = flag.Int("reps", 3, "instances per CCR")
+		minTasks = flag.Int("min-tasks", 100, "minimum tasks per instance")
+		maxTasks = flag.Int("max-tasks", 300, "maximum tasks per instance")
+		hetero   = flag.Bool("hetero", false, "heterogeneous speeds U(1,10)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		refiners = flag.Bool("refiners", false, "include the (slow) metaheuristic refiners")
+	)
+	flag.Parse()
+
+	ccrVals, err := parseFloats(*ccrs)
+	if err != nil {
+		fatal(err)
+	}
+
+	contenders := []contender{
+		algoContender(sched.NewBA()),
+		algoContender(sched.NewBASinnen()),
+		algoContender(sched.NewOIHSA()),
+		algoContender(sched.NewBBSA()),
+		algoContender(sched.NewDLS()),
+		algoContender(sched.NewCPOP()),
+		algoContender(sched.NewClassicReplay()),
+	}
+	// Extensions on the OIHSA stack.
+	eager := sched.NewOIHSA().Opts
+	eager.CommStart = sched.CommAtSourceFinish
+	contenders = append(contenders, algoContender(sched.NewCustom("OIHSA/eager", eager)))
+	pkts := sched.NewOIHSA().Opts
+	pkts.Engine = sched.EnginePackets
+	pkts.Insertion = sched.InsertionBasic
+	pkts.PacketSize = 100
+	contenders = append(contenders, algoContender(sched.NewCustom("OIHSA/packets", pkts)))
+	ins := sched.NewOIHSA().Opts
+	ins.TaskPolicy = sched.TaskInsertion
+	contenders = append(contenders, algoContender(sched.NewCustom("OIHSA/task-ins", ins)))
+	if *refiners {
+		contenders = append(contenders,
+			contender{name: "Refined(BBSA)", run: func(inst workload.Instance) (float64, error) {
+				s, _, err := refine.Refine(inst.Graph, inst.Net, refine.Options{Seed: 7})
+				if err != nil {
+					return 0, err
+				}
+				return s.Makespan, nil
+			}},
+			contender{name: "Annealed(BBSA)", run: func(inst workload.Instance) (float64, error) {
+				s, _, err := refine.Anneal(inst.Graph, inst.Net, refine.SAOptions{Seed: 7})
+				if err != nil {
+					return 0, err
+				}
+				return s.Makespan, nil
+			}},
+			contender{name: "Evolved(BBSA)", run: func(inst workload.Instance) (float64, error) {
+				s, _, err := refine.Evolve(inst.Graph, inst.Net, refine.GAOptions{Seed: 7})
+				if err != nil {
+					return 0, err
+				}
+				return s.Makespan, nil
+			}},
+		)
+	}
+
+	sums := make([]float64, len(contenders))
+	instances := 0
+	for _, ccr := range ccrVals {
+		for rep := 0; rep < *reps; rep++ {
+			inst := workload.Generate(workload.Params{
+				Processors:    *procs,
+				CCR:           ccr,
+				Heterogeneous: *hetero,
+				MinTasks:      *minTasks,
+				MaxTasks:      *maxTasks,
+				Seed:          *seed*1000003 + int64(ccr*10)*7 + int64(rep),
+			})
+			instances++
+			for i, c := range contenders {
+				m, err := c.run(inst)
+				if err != nil {
+					fatal(err)
+				}
+				sums[i] += m
+			}
+		}
+	}
+	base := sums[0]
+	type row struct {
+		name string
+		mean float64
+	}
+	rows := make([]row, len(contenders))
+	for i, c := range contenders {
+		rows[i] = row{name: c.name, mean: sums[i] / float64(instances)}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mean < rows[j].mean })
+	system := "homogeneous"
+	if *hetero {
+		system = "heterogeneous"
+	}
+	fmt.Printf("league table over %d instances (%s, %d processors, CCR ∈ {%s}):\n\n",
+		instances, system, *procs, *ccrs)
+	fmt.Printf("%-18s %14s %10s\n", "scheduler", "mean makespan", "vs BA")
+	fmt.Println(strings.Repeat("-", 45))
+	for _, r := range rows {
+		fmt.Printf("%-18s %14.1f %+9.1f%%\n", r.name, r.mean, 100*(base/float64(instances)-r.mean)/(base/float64(instances)))
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edgecompare:", err)
+	os.Exit(1)
+}

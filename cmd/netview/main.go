@@ -1,0 +1,122 @@
+// Command netview generates network topologies and prints statistics
+// or Graphviz DOT for inspection.
+//
+// Usage:
+//
+//	netview -kind cluster -procs 32
+//	netview -kind mesh -rows 4 -cols 4 -dot > mesh.dot
+//	netview -kind cluster -procs 16 -hetero
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/graphio"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "cluster", "topology: cluster, fully, ring, line, star, bus, mesh, torus, hypercube, fattree, torus3d, tree, dumbbell, dragonfly, butterfly")
+		procs  = flag.Int("procs", 16, "number of processors")
+		rows   = flag.Int("rows", 4, "mesh/torus rows")
+		cols   = flag.Int("cols", 4, "mesh/torus columns")
+		dim    = flag.Int("dim", 3, "hypercube dimension")
+		hetero = flag.Bool("hetero", false, "heterogeneous speeds U(1,10)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		dot    = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		asJSON = flag.Bool("json", false, "emit the topology as JSON (loadable by schedview -net)")
+	)
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+	proc := network.Uniform(1)
+	link := network.Uniform(1)
+	if *hetero {
+		proc = network.UniformRange(r, 1, 10)
+		link = network.UniformRange(r, 1, 10)
+	}
+	var t *network.Topology
+	switch strings.ToLower(*kind) {
+	case "cluster":
+		t = network.RandomCluster(r, network.RandomClusterParams{
+			Processors: *procs, ProcSpeed: proc, LinkSpeed: link})
+	case "fully":
+		t = network.FullyConnected(*procs, proc, link)
+	case "ring":
+		t = network.Ring(*procs, proc, link)
+	case "line":
+		t = network.Line(*procs, proc, link)
+	case "star":
+		t = network.Star(*procs, proc, link)
+	case "bus":
+		t = network.Bus(*procs, proc, 1)
+	case "mesh":
+		t = network.Mesh2D(*rows, *cols, proc, link)
+	case "torus":
+		t = network.Torus2D(*rows, *cols, proc, link)
+	case "hypercube":
+		t = network.Hypercube(*dim, proc, link)
+	case "fattree":
+		t = network.FatTree(4, (*procs+3)/4, proc, link)
+	case "torus3d":
+		t = network.Torus3D(*rows, *cols, *dim, proc, link)
+	case "tree":
+		t = network.SwitchTree(2, *dim, (*procs+3)/4, proc, link)
+	case "dumbbell":
+		t = network.Dumbbell(*procs/2, *procs-*procs/2, proc, link, 1)
+	case "dragonfly":
+		t = network.Dragonfly(*dim, (*procs+*dim-1)/(*dim), proc, link, link)
+	case "butterfly":
+		t = network.ButterflyNet(*dim, proc, link)
+	default:
+		fatal(fmt.Errorf("unknown topology kind %q", *kind))
+	}
+	if err := t.Validate(); err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := trace.WriteTopologyDOT(os.Stdout, t); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *asJSON {
+		if err := graphio.WriteTopology(os.Stdout, t); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Println(t)
+	fmt.Printf("mean link speed (MLS) = %.4g\n", t.MeanLinkSpeed())
+	// Route-length statistics between the first few processor pairs.
+	ps := t.Processors()
+	var totalHops, pairs int
+	for i := 0; i < len(ps) && i < 8; i++ {
+		for j := 0; j < len(ps) && j < 8; j++ {
+			if i == j {
+				continue
+			}
+			route, err := t.BFSRoute(ps[i], ps[j])
+			if err != nil {
+				fatal(err)
+			}
+			totalHops += len(route)
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		fmt.Printf("mean BFS route length over %d sampled pairs = %.2f links\n",
+			pairs, float64(totalHops)/float64(pairs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netview:", err)
+	os.Exit(1)
+}

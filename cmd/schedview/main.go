@@ -1,0 +1,152 @@
+// Command schedview schedules one workload instance with a chosen
+// algorithm and prints the result: summary, text Gantt chart (with
+// per-link rows), or a JSON/CSV dump.
+//
+// Usage:
+//
+//	schedview -algo oihsa -procs 8 -ccr 2 -tasks 60
+//	schedview -algo bbsa -hetero -gantt -links
+//	schedview -algo ba -json > schedule.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/graphio"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "oihsa", "algorithm: ba, ba-eft, oihsa, bbsa, dls, cpop, classic, replay")
+		procs   = flag.Int("procs", 8, "number of processors")
+		ccr     = flag.Float64("ccr", 1.0, "communication-computation ratio")
+		tasks   = flag.Int("tasks", 50, "number of tasks")
+		hetero  = flag.Bool("hetero", false, "heterogeneous speeds U(1,10)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		gantt   = flag.Bool("gantt", true, "print the Gantt chart")
+		links   = flag.Bool("links", false, "include per-link rows in the Gantt chart")
+		width   = flag.Int("width", 100, "Gantt chart width in cells")
+		asJSON  = flag.Bool("json", false, "dump the schedule as JSON")
+		asCSV   = flag.Bool("csv", false, "dump the schedule events as CSV")
+		analyze = flag.Bool("analyze", false, "print the schedule analysis (speedup, bounds, critical chain)")
+		svg     = flag.Bool("svg", false, "emit the schedule as an SVG Gantt chart")
+		html    = flag.Bool("html", false, "emit a self-contained HTML report (Gantt + analysis)")
+		events  = flag.Int("events", 0, "print the first N chronological events (0 = off)")
+		dagFile = flag.String("dag", "", "load the task graph from a JSON file (see dagview -json) instead of generating one")
+		netFile = flag.String("net", "", "load the topology from a JSON file (see netview -json) instead of generating one")
+	)
+	flag.Parse()
+
+	var a sched.Algorithm
+	switch strings.ToLower(*algo) {
+	case "ba":
+		a = sched.NewBA()
+	case "ba-eft", "basinnen":
+		a = sched.NewBASinnen()
+	case "oihsa":
+		a = sched.NewOIHSA()
+	case "bbsa":
+		a = sched.NewBBSA()
+	case "dls":
+		a = sched.NewDLS()
+	case "cpop":
+		a = sched.NewCPOP()
+	case "classic":
+		a = sched.NewClassic()
+	case "replay", "classic-replay":
+		a = sched.NewClassicReplay()
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	inst := workload.Generate(workload.Params{
+		Processors:    *procs,
+		CCR:           *ccr,
+		Heterogeneous: *hetero,
+		MinTasks:      *tasks,
+		MaxTasks:      *tasks,
+		Seed:          *seed,
+	})
+	if *dagFile != "" {
+		f, err := os.Open(*dagFile)
+		if err != nil {
+			fatal(err)
+		}
+		inst.Graph, err = graphio.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *netFile != "" {
+		f, err := os.Open(*netFile)
+		if err != nil {
+			fatal(err)
+		}
+		inst.Net, err = graphio.ReadTopology(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	s, err := a.Schedule(inst.Graph, inst.Net)
+	if err != nil {
+		fatal(err)
+	}
+	if res := verify.Verify(s); !res.OK() {
+		fatal(fmt.Errorf("schedule failed verification: %v", res.Err()))
+	}
+
+	switch {
+	case *html:
+		if err := trace.WriteHTMLReport(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+	case *svg:
+		if err := trace.WriteGanttSVG(os.Stdout, s, trace.SVGOptions{Links: *links}); err != nil {
+			fatal(err)
+		}
+	case *asJSON:
+		if err := trace.WriteScheduleJSON(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+	case *asCSV:
+		if err := trace.WriteScheduleCSV(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+	default:
+		cs := s.CommStats()
+		fmt.Printf("%s on %s: tasks=%d edges=%d (%d routed, mean %.1f hops)\n",
+			s.Algorithm, inst.Net, inst.Graph.NumTasks(), inst.Graph.NumEdges(),
+			cs.RoutedEdges, cs.MeanHops)
+		fmt.Printf("makespan = %.2f (verified)\n", s.Makespan)
+		if *gantt {
+			if err := trace.WriteGantt(os.Stdout, s, trace.GanttOptions{Width: *width, Links: *links}); err != nil {
+				fatal(err)
+			}
+		}
+		if *analyze {
+			if err := analysis.WriteReport(os.Stdout, analysis.Analyze(s)); err != nil {
+				fatal(err)
+			}
+		}
+		if *events > 0 {
+			if err := trace.WriteEventLog(os.Stdout, s, *events); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedview:", err)
+	os.Exit(1)
+}

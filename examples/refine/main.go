@@ -1,0 +1,63 @@
+// Refine: start from each constructive scheduler's result and improve
+// the task-to-processor assignment by iterated local search, printing
+// the gains and the analysis of the best schedule found. This is the
+// expensive end of the design space the paper's introduction cites
+// (genetic / simulated-annealing schedulers) realized on the
+// contention-aware model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	edgesched "repro"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+	g := edgesched.RandomLayered(r, edgesched.LayeredParams{
+		Tasks:    60,
+		TaskCost: edgesched.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: edgesched.CostDist{Lo: 1, Hi: 100},
+	})
+	g.ScaleToCCR(1.5)
+	net := edgesched.RandomCluster(r, edgesched.ClusterParams{
+		Processors: 8,
+		ProcSpeed:  edgesched.Uniform(1),
+		LinkSpeed:  edgesched.Uniform(1),
+	})
+	fmt.Printf("graph: %v   network: %v\n\n", g, net)
+
+	var best *edgesched.Schedule
+	for _, base := range []edgesched.Algorithm{edgesched.BA(), edgesched.OIHSA(), edgesched.BBSA()} {
+		s0, err := base.Schedule(g, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, st, err := edgesched.Refine(g, net, edgesched.RefineOptions{
+			Base:     base,
+			MaxIters: 400,
+			Patience: 120,
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := edgesched.Verify(s); err != nil {
+			log.Fatalf("%s: %v", base.Name(), err)
+		}
+		fmt.Printf("%-6s %10.1f  ->  refined %10.1f  (%+.1f%%, %d evaluations, %d accepted moves)\n",
+			base.Name(), s0.Makespan, s.Makespan, st.ImprovementPct(),
+			st.Evaluations, st.Improvements)
+		if best == nil || s.Makespan < best.Makespan {
+			best = s
+		}
+	}
+
+	fmt.Println("\nanalysis of the best refined schedule:")
+	if err := edgesched.WriteAnalysis(os.Stdout, edgesched.Analyze(best)); err != nil {
+		log.Fatal(err)
+	}
+}

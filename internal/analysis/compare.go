@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+// Comparison quantifies how two schedules of the same graph on the
+// same network differ — used to study what a refiner or an alternative
+// policy actually changed.
+type Comparison struct {
+	NameA, NameB string
+	MakespanA    float64
+	MakespanB    float64
+	// ImprovementPct is 100·(A−B)/A: positive when B is shorter.
+	ImprovementPct float64
+	// MovedTasks counts tasks placed on different processors.
+	MovedTasks int
+	// MeanStartShift is the mean |start_B − start_A| over all tasks.
+	MeanStartShift float64
+	// RoutedA/RoutedB count network-crossing edges in each schedule.
+	RoutedA, RoutedB int
+	// RerputedEdges counts edges whose route changed (among edges
+	// routed in both schedules).
+	ReroutedEdges int
+	// ProcLoadShift is the total absolute difference in per-processor
+	// busy time, normalized by total work (0 = identical load
+	// distribution, 2 = completely disjoint).
+	ProcLoadShift float64
+}
+
+// Compare computes the comparison of two schedules. It returns an
+// error if the schedules are for different graphs or networks (by
+// size; deep identity is the caller's responsibility).
+func Compare(a, b *sched.Schedule) (*Comparison, error) {
+	if a.Graph.NumTasks() != b.Graph.NumTasks() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		return nil, fmt.Errorf("analysis: schedules cover different graphs (%d/%d tasks)",
+			a.Graph.NumTasks(), b.Graph.NumTasks())
+	}
+	if a.Net.NumNodes() != b.Net.NumNodes() {
+		return nil, fmt.Errorf("analysis: schedules cover different networks")
+	}
+	c := &Comparison{
+		NameA:     a.Algorithm,
+		NameB:     b.Algorithm,
+		MakespanA: a.Makespan,
+		MakespanB: b.Makespan,
+	}
+	if a.Makespan > 0 {
+		c.ImprovementPct = 100 * (a.Makespan - b.Makespan) / a.Makespan
+	}
+	shift := 0.0
+	loadA := map[network.NodeID]float64{}
+	loadB := map[network.NodeID]float64{}
+	for i := range a.Tasks {
+		ta, tb := a.Tasks[i], b.Tasks[i]
+		if ta.Proc != tb.Proc {
+			c.MovedTasks++
+		}
+		d := tb.Start - ta.Start
+		if d < 0 {
+			d = -d
+		}
+		shift += d
+		loadA[ta.Proc] += ta.Finish - ta.Start
+		loadB[tb.Proc] += tb.Finish - tb.Start
+	}
+	if n := len(a.Tasks); n > 0 {
+		c.MeanStartShift = shift / float64(n)
+	}
+	totalWork := 0.0
+	for _, w := range loadA {
+		totalWork += w
+	}
+	if totalWork > 0 {
+		diff := 0.0
+		for _, p := range a.Net.Processors() {
+			d := loadA[p] - loadB[p]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		c.ProcLoadShift = diff / totalWork
+	}
+	for i := range a.Edges {
+		ea, eb := a.Edges[i], b.Edges[i]
+		if ea != nil {
+			c.RoutedA++
+		}
+		if eb != nil {
+			c.RoutedB++
+		}
+		if ea != nil && eb != nil && !sameRoute(ea.Route, eb.Route) {
+			c.ReroutedEdges++
+		}
+	}
+	return c, nil
+}
+
+func sameRoute(a, b network.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteComparison renders the comparison as readable text.
+func WriteComparison(w io.Writer, c *Comparison) error {
+	_, err := fmt.Fprintf(w, `schedule comparison: %s -> %s
+  makespan %.2f -> %.2f (%+.1f%%)
+  moved tasks: %d   mean |start shift|: %.2f
+  routed edges: %d -> %d (%d rerouted)
+  processor load shift: %.1f%% of total work
+`,
+		c.NameA, c.NameB, c.MakespanA, c.MakespanB, c.ImprovementPct,
+		c.MovedTasks, c.MeanStartShift,
+		c.RoutedA, c.RoutedB, c.ReroutedEdges,
+		100*c.ProcLoadShift)
+	return err
+}

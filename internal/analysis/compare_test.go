@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+func TestCompareIdenticalSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    30,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+	})
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	a := schedule(t, sched.NewOIHSA(), g, net)
+	b := schedule(t, sched.NewOIHSA(), g, net)
+	c, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MovedTasks != 0 || c.ReroutedEdges != 0 || c.MeanStartShift != 0 ||
+		c.ProcLoadShift != 0 || c.ImprovementPct != 0 {
+		t.Fatalf("identical schedules compare as different: %+v", c)
+	}
+}
+
+func TestCompareDifferentAlgorithms(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    40,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+	})
+	net := network.RandomCluster(r, network.RandomClusterParams{
+		Processors: 6, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+	a := schedule(t, sched.NewBA(), g, net)
+	b := schedule(t, sched.NewOIHSA(), g, net)
+	c, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * (a.Makespan - b.Makespan) / a.Makespan
+	if math.Abs(c.ImprovementPct-want) > 1e-9 {
+		t.Fatalf("improvement %v, want %v", c.ImprovementPct, want)
+	}
+	if c.RoutedA == 0 && c.RoutedB == 0 {
+		t.Fatal("no routed edges in either schedule (degenerate instance)")
+	}
+	if c.ProcLoadShift < 0 || c.ProcLoadShift > 2+1e-9 {
+		t.Fatalf("load shift %v outside [0,2]", c.ProcLoadShift)
+	}
+	var buf bytes.Buffer
+	if err := WriteComparison(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "schedule comparison") {
+		t.Fatal("comparison rendering broken")
+	}
+}
+
+func TestCompareRejectsMismatchedInstances(t *testing.T) {
+	g1 := dag.Chain(3, 10, 10)
+	g2 := dag.Chain(4, 10, 10)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	a := schedule(t, sched.NewBA(), g1, net)
+	b := schedule(t, sched.NewBA(), g2, net)
+	if _, err := Compare(a, b); err == nil {
+		t.Fatal("mismatched graphs accepted")
+	}
+}

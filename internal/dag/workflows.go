@@ -1,0 +1,114 @@
+package dag
+
+import "fmt"
+
+// Montage builds a synthetic Montage-style astronomy workflow, a
+// standard benchmark shape in workflow-scheduling studies: w parallel
+// projection tasks, a quadratic-ish layer of overlap-difference tasks
+// joining neighbouring projections, a fit/concat reduction, a
+// background-model task fanned back out to w correction tasks, and a
+// final mosaic merge.
+func Montage(w int, taskCost, edgeCost float64) *Graph {
+	if w < 2 {
+		w = 2
+	}
+	g := New()
+	proj := make([]TaskID, w)
+	for i := range proj {
+		proj[i] = g.AddTask(fmt.Sprintf("mProject%d", i), taskCost)
+	}
+	// Differences between neighbouring projections.
+	var diffs []TaskID
+	for i := 0; i+1 < w; i++ {
+		d := g.AddTask(fmt.Sprintf("mDiff%d", i), taskCost/2)
+		g.AddEdge(proj[i], d, edgeCost)
+		g.AddEdge(proj[i+1], d, edgeCost)
+		diffs = append(diffs, d)
+	}
+	fit := g.AddTask("mConcatFit", taskCost)
+	for _, d := range diffs {
+		g.AddEdge(d, fit, edgeCost/2)
+	}
+	bg := g.AddTask("mBgModel", taskCost)
+	g.AddEdge(fit, bg, edgeCost/2)
+	merge := g.AddTask("mAdd", 2*taskCost)
+	for i := range proj {
+		corr := g.AddTask(fmt.Sprintf("mBackground%d", i), taskCost/2)
+		g.AddEdge(bg, corr, edgeCost/2)
+		g.AddEdge(proj[i], corr, edgeCost)
+		g.AddEdge(corr, merge, edgeCost)
+	}
+	return g
+}
+
+// Epigenomics builds a synthetic Epigenomics-style bioinformatics
+// workflow: `lanes` independent pipelines of `depth` sequential stages
+// fed by one split task, merged by one final task — long chains with a
+// single synchronization at each end.
+func Epigenomics(lanes, depth int, taskCost, edgeCost float64) *Graph {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	g := New()
+	split := g.AddTask("split", taskCost)
+	merge := g.AddTask("merge", taskCost)
+	for l := 0; l < lanes; l++ {
+		prev := split
+		for d := 0; d < depth; d++ {
+			t := g.AddTask(fmt.Sprintf("lane%d_s%d", l, d), taskCost)
+			g.AddEdge(prev, t, edgeCost)
+			prev = t
+		}
+		g.AddEdge(prev, merge, edgeCost)
+	}
+	return g
+}
+
+// Width returns the maximum number of tasks in any single layer of the
+// graph's longest-path layering — a practical measure of available
+// parallelism for experiment reporting. (The true maximum antichain is
+// NP-hard to compute in general DAG weighted settings; layer width is
+// the standard proxy.)
+func (g *Graph) Width() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	depth := make([]int, g.NumTasks())
+	maxDepth := 0
+	for _, id := range order {
+		d := 0
+		for _, eid := range g.pred[id] {
+			if v := depth[g.edges[eid].From] + 1; v > d {
+				d = v
+			}
+		}
+		depth[id] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	counts := make([]int, maxDepth+1)
+	width := 0
+	for _, d := range depth {
+		counts[d]++
+		if counts[d] > width {
+			width = counts[d]
+		}
+	}
+	return width
+}
+
+// Density returns |E| divided by the maximum possible edge count of a
+// DAG on the same tasks, n(n−1)/2; 0 for graphs with fewer than two
+// tasks.
+func (g *Graph) Density() float64 {
+	n := len(g.tasks)
+	if n < 2 {
+		return 0
+	}
+	return float64(len(g.edges)) / (float64(n) * float64(n-1) / 2)
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleSuite = `{
+  "name": "smoke",
+  "figures": [
+    {"figure": 1, "csv": true, "reps": 1, "seed": 3,
+     "minTasks": 30, "maxTasks": 40, "procs": [4], "ccrs": [2]}
+  ],
+  "ablations": [
+    {"ablation": "routing", "reps": 1, "seed": 3,
+     "minTasks": 30, "maxTasks": 40, "procs": [4], "ccrs": [2]}
+  ]
+}`
+
+func TestLoadSuite(t *testing.T) {
+	spec, err := LoadSuite(strings.NewReader(sampleSuite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "smoke" || len(spec.Figures) != 1 || len(spec.Ablations) != 1 {
+		t.Fatalf("spec %+v", spec)
+	}
+}
+
+func TestLoadSuiteRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"unknown field":    `{"name":"x","bogus":1}`,
+		"bad figure":       `{"name":"x","figures":[{"figure":9}]}`,
+		"bad ablation":     `{"name":"x","ablations":[{"ablation":"nope"}]}`,
+		"empty suite":      `{"name":"x"}`,
+		"unknown sub-knob": `{"name":"x","figures":[{"figure":1,"turbo":true}]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadSuite(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	spec, err := LoadSuite(strings.NewReader(sampleSuite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var log bytes.Buffer
+	if err := RunSuite(spec, dir, &log); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figure1.txt", "figure1.csv", "routing.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, want))
+		if err != nil {
+			t.Fatalf("missing output %s: %v", want, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", want)
+		}
+	}
+	if !strings.Contains(log.String(), "Figure 1 done") {
+		t.Errorf("log output %q", log.String())
+	}
+}
+
+func TestSpecConfigFullOverride(t *testing.T) {
+	sc := SpecConfig{Full: true, Reps: 2, Heterogeneous: true}
+	cfg := sc.toConfig()
+	if len(cfg.CCRs) != 19 || len(cfg.Procs) != 7 {
+		t.Fatalf("full config not applied: %+v", cfg)
+	}
+	if cfg.Reps != 2 {
+		t.Fatalf("reps override lost")
+	}
+	if !cfg.Heterogeneous {
+		t.Fatalf("hetero lost")
+	}
+}

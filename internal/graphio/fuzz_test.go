@@ -1,0 +1,67 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph checks the graph parser never panics and that every
+// accepted graph round-trips and validates.
+func FuzzReadGraph(f *testing.F) {
+	f.Add(`{"tasks":[{"name":"a","cost":1},{"name":"b","cost":2}],"edges":[{"from":0,"to":1,"cost":3}]}`)
+	f.Add(`{"tasks":[],"edges":[]}`)
+	f.Add(`{"tasks":[{"name":"x","cost":0}],"edges":[]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+		g2, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadTopology checks the topology parser never panics and that
+// every accepted topology validates and round-trips.
+func FuzzReadTopology(f *testing.F) {
+	f.Add(`{"nodes":[{"name":"a","kind":"processor","speed":1},
+		{"name":"b","kind":"processor","speed":2}],
+		"links":[{"from":0,"to":1,"duplex":true,"speed":1}]}`)
+	f.Add(`{"nodes":[{"name":"a","kind":"processor","speed":1},
+		{"name":"b","kind":"processor","speed":1},
+		{"name":"c","kind":"processor","speed":1}],
+		"links":[{"members":[0,1,2],"speed":2}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		top, err := ReadTopology(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := top.Validate(); err != nil {
+			t.Fatalf("accepted topology fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTopology(&buf, top); err != nil {
+			t.Fatalf("cannot re-serialize accepted topology: %v", err)
+		}
+		top2, err := ReadTopology(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if top2.NumNodes() != top.NumNodes() || top2.NumLinks() != top.NumLinks() {
+			t.Fatal("round trip changed the topology")
+		}
+	})
+}

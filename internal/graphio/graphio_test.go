@@ -1,0 +1,145 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    40,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+	})
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %v vs %v", g2, g)
+	}
+	for i, task := range g.Tasks() {
+		if g2.Tasks()[i] != task {
+			t.Fatalf("task %d changed: %+v vs %+v", i, g2.Tasks()[i], task)
+		}
+	}
+	for i, e := range g.Edges() {
+		if g2.Edges()[i] != e {
+			t.Fatalf("edge %d changed", i)
+		}
+	}
+}
+
+func TestGraphReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     `{`,
+		"unknown keys": `{"tasks":[],"edges":[],"extra":1}`,
+		"edge range":   `{"tasks":[{"name":"a","cost":1}],"edges":[{"from":0,"to":5,"cost":1}]}`,
+		"self loop":    `{"tasks":[{"name":"a","cost":1}],"edges":[{"from":0,"to":0,"cost":1}]}`,
+		"cycle": `{"tasks":[{"name":"a","cost":1},{"name":"b","cost":1}],
+			"edges":[{"from":0,"to":1,"cost":1},{"from":1,"to":0,"cost":1}]}`,
+		"negative cost": `{"tasks":[{"name":"a","cost":-5}],"edges":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	top := network.RandomCluster(r, network.RandomClusterParams{
+		Processors: 12,
+		ProcSpeed:  network.UniformRange(r, 1, 10),
+		LinkSpeed:  network.UniformRange(r, 1, 10),
+	})
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, top); err != nil {
+		t.Fatal(err)
+	}
+	top2, err := ReadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top2.NumNodes() != top.NumNodes() || top2.NumLinks() != top.NumLinks() ||
+		top2.NumProcessors() != top.NumProcessors() {
+		t.Fatalf("shape changed: %v vs %v", top2, top)
+	}
+	for i, n := range top.Nodes() {
+		n2 := top2.Nodes()[i]
+		if n2.Kind != n.Kind || n2.Name != n.Name || n2.Speed != n.Speed {
+			t.Fatalf("node %d changed: %+v vs %+v", i, n2, n)
+		}
+	}
+	for i, l := range top.Links() {
+		l2 := top2.Links()[i]
+		if l2.From != l.From || l2.To != l.To || l2.Speed != l.Speed {
+			t.Fatalf("link %d changed", i)
+		}
+	}
+}
+
+func TestTopologyBusRoundTrip(t *testing.T) {
+	top := network.Bus(4, network.Uniform(2), 3)
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, top); err != nil {
+		t.Fatal(err)
+	}
+	top2, err := ReadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := top2.Link(0)
+	if !l.IsBus() || len(l.Members) != 4 || l.Speed != 3 {
+		t.Fatalf("bus lost in round trip: %+v", l)
+	}
+}
+
+func TestTopologyDuplexShortcut(t *testing.T) {
+	in := `{"nodes":[{"name":"a","kind":"processor","speed":1},
+		{"name":"b","kind":"processor","speed":1}],
+		"links":[{"from":0,"to":1,"duplex":true,"speed":2}]}`
+	top, err := ReadTopology(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumLinks() != 2 {
+		t.Fatalf("duplex shortcut produced %d links", top.NumLinks())
+	}
+}
+
+func TestTopologyReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     `[`,
+		"unknown kind": `{"nodes":[{"name":"x","kind":"router"}],"links":[]}`,
+		"no speed":     `{"nodes":[{"name":"x","kind":"processor"}],"links":[]}`,
+		"link range": `{"nodes":[{"name":"a","kind":"processor","speed":1}],
+			"links":[{"from":0,"to":9,"speed":1}]}`,
+		"self link": `{"nodes":[{"name":"a","kind":"processor","speed":1}],
+			"links":[{"from":0,"to":0,"speed":1}]}`,
+		"zero speed link": `{"nodes":[{"name":"a","kind":"processor","speed":1},
+			{"name":"b","kind":"processor","speed":1}],
+			"links":[{"from":0,"to":1,"speed":0}]}`,
+		"single member bus": `{"nodes":[{"name":"a","kind":"processor","speed":1},
+			{"name":"b","kind":"processor","speed":1}],
+			"links":[{"members":[0],"speed":1}]}`,
+		"disconnected": `{"nodes":[{"name":"a","kind":"processor","speed":1},
+			{"name":"b","kind":"processor","speed":1}],"links":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadTopology(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package linksched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Chunk is one contiguous piece of a communication transferred on a
+// link at a constant fraction of the link's bandwidth. BBSA spreads an
+// edge's volume over chunks with varying rates (§5).
+type Chunk struct {
+	Start  float64
+	End    float64
+	Rate   float64 // fraction of the link's bandwidth in (0, 1]
+	Volume float64 // data moved: Rate * linkSpeed * (End-Start)
+}
+
+// use records one owner's bandwidth share within a segment.
+type use struct {
+	owner Owner
+	rate  float64
+}
+
+// seg is a maximal interval of a bandwidth timeline with a constant set
+// of bandwidth shares. Segments are sorted, non-overlapping; time not
+// covered by any segment is fully idle.
+type seg struct {
+	start, end float64
+	avail      float64 // remaining bandwidth fraction in [0, 1]
+	uses       []use
+}
+
+// BWTimeline is the per-link bandwidth ledger used by BBSA: multiple
+// communications may share a link concurrently as long as their
+// bandwidth fractions sum to at most 1.
+//
+// The zero value is an idle timeline ready for use.
+type BWTimeline struct {
+	segs []seg
+}
+
+// NewBWTimeline returns an idle bandwidth timeline.
+func NewBWTimeline() *BWTimeline { return &BWTimeline{} }
+
+// SegmentInfo exposes one segment for verification and display.
+type SegmentInfo struct {
+	Start, End float64
+	Avail      float64
+	Uses       []SegmentUse
+}
+
+// SegmentUse is one owner's share within a segment.
+type SegmentUse struct {
+	Owner Owner
+	Rate  float64
+}
+
+// Segments returns a copy of the current segments in time order.
+func (t *BWTimeline) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, len(t.segs))
+	for i, s := range t.segs {
+		info := SegmentInfo{Start: s.start, End: s.end, Avail: s.avail}
+		for _, u := range s.uses {
+			info.Uses = append(info.Uses, SegmentUse{Owner: u.owner, Rate: u.rate})
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// split ensures a segment boundary exists at time x and returns the
+// index of the segment starting at x, or the index where a new idle
+// region beginning at x would live. Only called for x within or at the
+// edge of existing segments.
+func (t *BWTimeline) split(x float64) {
+	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > x })
+	if i == len(t.segs) {
+		return
+	}
+	s := &t.segs[i]
+	if s.start >= x-Eps || s.end <= x+Eps {
+		return // boundary already (approximately) present
+	}
+	left := seg{start: s.start, end: x, avail: s.avail, uses: append([]use(nil), s.uses...)}
+	s.start = x
+	t.segs = append(t.segs, seg{})
+	copy(t.segs[i+1:], t.segs[i:])
+	t.segs[i] = left
+}
+
+// reserve books rate bandwidth for owner over [a, b], splitting
+// segments and creating new segments over idle time as needed. The
+// caller must have verified availability.
+func (t *BWTimeline) reserve(owner Owner, a, b, rate float64) {
+	if b-a <= Eps || rate <= Eps {
+		return
+	}
+	t.split(a)
+	t.split(b)
+	// Walk from a to b covering idle gaps with fresh segments.
+	cur := a
+	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > a+Eps })
+	for cur < b-Eps {
+		if i < len(t.segs) && t.segs[i].start <= cur+Eps {
+			s := &t.segs[i]
+			end := s.end
+			if end > b {
+				end = b
+			}
+			s.avail -= rate
+			if s.avail < 0 {
+				s.avail = 0
+			}
+			s.uses = append(s.uses, use{owner: owner, rate: rate})
+			cur = end
+			i++
+			continue
+		}
+		// Idle gap from cur to the next segment start (or to b).
+		gapEnd := b
+		if i < len(t.segs) && t.segs[i].start < gapEnd {
+			gapEnd = t.segs[i].start
+		}
+		ns := seg{start: cur, end: gapEnd, avail: 1 - rate, uses: []use{{owner: owner, rate: rate}}}
+		t.segs = append(t.segs, seg{})
+		copy(t.segs[i+1:], t.segs[i:])
+		t.segs[i] = ns
+		cur = gapEnd
+		i++
+	}
+}
+
+// availAt returns the remaining bandwidth fraction at time x and the
+// time at which that fraction next changes (availability horizon).
+func (t *BWTimeline) availAt(x float64) (avail, until float64) {
+	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > x+Eps })
+	if i == len(t.segs) {
+		return 1, math.Inf(1)
+	}
+	s := t.segs[i]
+	if s.start > x+Eps {
+		return 1, s.start // idle gap before segment i
+	}
+	return s.avail, s.end
+}
+
+// Alloc transfers volume units of data starting no earlier than es,
+// using at each instant min(cap, remaining bandwidth) of the link whose
+// transfer speed is speed. cap ≤ 0 means uncapped (full remaining
+// bandwidth, as on the first route link). It reserves the bandwidth for
+// owner and returns the chunks produced. A zero or negative volume
+// yields a single empty chunk at es.
+func (t *BWTimeline) Alloc(owner Owner, es, volume, speed, cap float64) []Chunk {
+	if cap <= 0 || cap > 1 {
+		cap = 1
+	}
+	if volume <= Eps {
+		return []Chunk{{Start: es, End: es, Rate: 0, Volume: 0}}
+	}
+	var out []Chunk
+	cur := math.Max(es, 0)
+	remaining := volume
+	for remaining > volume*1e-9+Eps/2 {
+		avail, until := t.availAt(cur)
+		rate := math.Min(avail, cap)
+		if rate <= Eps {
+			// Link saturated here; wait for the next change point.
+			cur = until
+			continue
+		}
+		// Time to drain the remaining volume at this rate.
+		need := remaining / (rate * speed)
+		end := cur + need
+		if end > until {
+			end = until
+		}
+		if end <= cur {
+			// The residual volume's transfer time underflows the float
+			// resolution at this time scale; it is negligible (≤ 1e-9
+			// of the total), so stop rather than loop forever.
+			break
+		}
+		moved := rate * speed * (end - cur)
+		if moved > remaining {
+			moved = remaining
+		}
+		t.reserve(owner, cur, end, rate)
+		out = appendChunk(out, Chunk{Start: cur, End: end, Rate: rate, Volume: moved})
+		remaining -= moved
+		cur = end
+	}
+	return out
+}
+
+// appendChunk merges chunks that are contiguous with equal rate.
+func appendChunk(cs []Chunk, c Chunk) []Chunk {
+	if n := len(cs); n > 0 {
+		last := &cs[n-1]
+		if math.Abs(last.End-c.Start) <= Eps && math.Abs(last.Rate-c.Rate) <= Eps {
+			last.End = c.End
+			last.Volume += c.Volume
+			return cs
+		}
+	}
+	return append(cs, c)
+}
+
+// EstimateFinish computes, without mutating the timeline, when a
+// transfer of volume at link speed speed starting no earlier than es
+// (uncapped) would start and finish. Used as the modified-Dijkstra
+// probe for BBSA routing.
+func (t *BWTimeline) EstimateFinish(es, volume, speed float64) (start, finish float64) {
+	if volume <= Eps {
+		return es, es
+	}
+	cur := math.Max(es, 0)
+	remaining := volume
+	start = -1
+	for remaining > volume*1e-9+Eps/2 {
+		avail, until := t.availAt(cur)
+		if avail <= Eps {
+			cur = until
+			continue
+		}
+		if start < 0 {
+			start = cur
+		}
+		need := remaining / (avail * speed)
+		end := cur + need
+		if end > until {
+			end = until
+		}
+		if end <= cur {
+			// Residual transfer time underflows the float resolution;
+			// the remaining volume is negligible at this time scale.
+			break
+		}
+		remaining -= avail * speed * (end - cur)
+		cur = end
+	}
+	if start < 0 {
+		start = cur
+	}
+	return start, cur
+}
+
+// Forward transfers the chunk sequence produced on the previous route
+// link onto this link, honouring the link causality condition: chunk k
+// is forwarded starting no earlier than its start on the previous link
+// (plus the optional per-hop switching delay) and no earlier than the
+// completion of chunk k-1's forwarding, at a bandwidth fraction of at
+// most
+//
+//	min(rbr, prevRate · prevSpeed / speed)        (paper formula 4)
+//
+// so that the cumulative outflow never exceeds the cumulative inflow
+// (Theorem 3). It reserves bandwidth for owner and returns the chunks
+// produced on this link.
+func (t *BWTimeline) Forward(owner Owner, in []Chunk, prevSpeed, speed, hopDelay float64) []Chunk {
+	var out []Chunk
+	cursor := 0.0
+	for _, c := range in {
+		if c.Volume <= Eps {
+			if len(out) == 0 {
+				out = append(out, Chunk{Start: c.Start + hopDelay, End: c.Start + hopDelay})
+			}
+			continue
+		}
+		es := math.Max(cursor, c.Start+hopDelay)
+		cap := c.Rate * prevSpeed / speed
+		cs := t.Alloc(owner, es, c.Volume, speed, cap)
+		for _, oc := range cs {
+			out = appendChunk(out, oc)
+		}
+		if n := len(out); n > 0 {
+			cursor = out[n-1].End
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Chunk{})
+	}
+	return out
+}
+
+// Validate checks the timeline invariants: segments sorted and
+// non-overlapping, each segment's shares summing to 1-avail with
+// avail ∈ [0, 1].
+func (t *BWTimeline) Validate() error {
+	prevEnd := math.Inf(-1)
+	for i, s := range t.segs {
+		if s.end < s.start-Eps {
+			return fmt.Errorf("linksched: bw segment %d inverted [%v, %v]", i, s.start, s.end)
+		}
+		if s.start < prevEnd-Eps {
+			return fmt.Errorf("linksched: bw segment %d overlaps previous", i)
+		}
+		sum := 0.0
+		for _, u := range s.uses {
+			if u.rate <= 0 || u.rate > 1+Eps {
+				return fmt.Errorf("linksched: bw segment %d has invalid share %v", i, u.rate)
+			}
+			sum += u.rate
+		}
+		if sum > 1+1e-6 {
+			return fmt.Errorf("linksched: bw segment %d oversubscribed: shares sum to %v", i, sum)
+		}
+		if math.Abs((1-sum)-s.avail) > 1e-6 {
+			return fmt.Errorf("linksched: bw segment %d avail %v inconsistent with shares %v", i, s.avail, sum)
+		}
+		prevEnd = s.end
+	}
+	return nil
+}
+
+// BWSnapshot captures a BWTimeline for later Restore.
+type BWSnapshot struct {
+	segs []seg
+}
+
+// Snapshot returns a restorable deep copy of the current state.
+func (t *BWTimeline) Snapshot() BWSnapshot {
+	cp := make([]seg, len(t.segs))
+	for i, s := range t.segs {
+		cp[i] = seg{start: s.start, end: s.end, avail: s.avail, uses: append([]use(nil), s.uses...)}
+	}
+	return BWSnapshot{segs: cp}
+}
+
+// Restore resets the timeline to a previously captured snapshot.
+func (t *BWTimeline) Restore(s BWSnapshot) {
+	t.segs = t.segs[:0]
+	for _, sg := range s.segs {
+		t.segs = append(t.segs, seg{start: sg.start, end: sg.end, avail: sg.avail, uses: append([]use(nil), sg.uses...)})
+	}
+}
+
+// NumSegments reports the number of segments (for tests/statistics).
+func (t *BWTimeline) NumSegments() int { return len(t.segs) }

@@ -1,0 +1,294 @@
+// Package linksched provides the per-link data structures of the edge
+// scheduling model: exclusive-slot timelines (used by BA's basic
+// insertion and OIHSA's optimal insertion) and fractional-bandwidth
+// timelines (used by BBSA).
+//
+// Times are float64; a tiny epsilon absorbs rounding noise in the
+// interval arithmetic.
+package linksched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the tolerance used in interval comparisons.
+const Eps = 1e-9
+
+// Owner identifies which communication occupies a slot: the DAG edge's
+// integer ID plus the leg (index of the link within the edge's route).
+type Owner struct {
+	Edge int // dag.EdgeID of the communication
+	Leg  int // position of this link in the edge's route
+}
+
+// Slot is an occupied time interval on an exclusive-slot timeline.
+type Slot struct {
+	Start float64
+	End   float64
+	Owner Owner
+}
+
+// Dur returns the slot length.
+func (s Slot) Dur() float64 { return s.End - s.Start }
+
+// Timeline is the occupied-slot queue of one link under exclusive
+// (full-bandwidth, non-preemptive) communication: at most one edge uses
+// the link at a time. Slots are kept sorted by start time and never
+// overlap.
+//
+// The zero value is an empty timeline ready for use.
+type Timeline struct {
+	slots []Slot
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Len reports the number of occupied slots.
+func (t *Timeline) Len() int { return len(t.slots) }
+
+// Slots returns the occupied slots in start order. The slice is shared;
+// do not modify.
+func (t *Timeline) Slots() []Slot { return t.slots }
+
+// Request describes the placement constraints of one edge on one link,
+// derived from the link causality condition of cut-through routing:
+//
+//   - ES is the edge's start time on the previous route link (or the
+//     source task's finish time on the first link); the slot must start
+//     at or after ES.
+//   - PF is the edge's finish time on the previous route link (or the
+//     source task's finish time on the first link); the slot must end
+//     at or after PF.
+//   - Dur is the transfer time on this link, c(e)/s(L).
+//
+// The effective lower bound for the slot start is
+// max(ES, PF-Dur): starting there makes both conditions hold with a
+// slot of exactly Dur length (the paper's "virtual start time", §2.2).
+type Request struct {
+	ES  float64
+	PF  float64
+	Dur float64
+}
+
+// lowerBound returns the earliest admissible slot start.
+func (r Request) lowerBound() float64 {
+	lb := r.ES
+	if v := r.PF - r.Dur; v > lb {
+		lb = v
+	}
+	if lb < 0 {
+		lb = 0
+	}
+	return lb
+}
+
+// ProbeBasic computes, without mutating the timeline, the slot the
+// basic insertion policy (Sinnen's BA, §3) would allocate: the earliest
+// idle interval at or after the request's lower bound that fits Dur.
+// It returns the slot's start and end times.
+func (t *Timeline) ProbeBasic(req Request) (start, finish float64) {
+	lb := req.lowerBound()
+	if req.Dur <= 0 {
+		return lb, lb
+	}
+	prevEnd := 0.0
+	for _, s := range t.slots {
+		gapStart := prevEnd
+		if gapStart < lb {
+			gapStart = lb
+		}
+		if gapStart+req.Dur <= s.Start+Eps {
+			return gapStart, gapStart + req.Dur
+		}
+		if s.End > prevEnd {
+			prevEnd = s.End
+		}
+	}
+	start = prevEnd
+	if start < lb {
+		start = lb
+	}
+	return start, start + req.Dur
+}
+
+// InsertBasic allocates a slot by the basic insertion policy and
+// records it. It returns the slot's start and end times.
+func (t *Timeline) InsertBasic(owner Owner, req Request) (start, finish float64) {
+	start, finish = t.ProbeBasic(req)
+	if req.Dur <= 0 {
+		return start, finish
+	}
+	t.insertSorted(Slot{Start: start, End: finish, Owner: owner})
+	return start, finish
+}
+
+func (t *Timeline) insertSorted(s Slot) {
+	i := sort.Search(len(t.slots), func(i int) bool { return t.slots[i].Start >= s.Start })
+	t.slots = append(t.slots, Slot{})
+	copy(t.slots[i+1:], t.slots[i:])
+	t.slots[i] = s
+}
+
+// SlackFunc reports the longest deferrable time (Lemma 2) of the slot
+// owned by the given owner on this link: how far its start may be
+// postponed without violating the link causality condition with the
+// owner's next route link. It must return 0 for the last link of the
+// owner's route.
+type SlackFunc func(o Owner) float64
+
+// Shifted records a slot moved by optimal insertion so the caller can
+// update the owning edge's bookkeeping.
+type Shifted struct {
+	Owner Owner
+	Start float64
+	End   float64
+}
+
+// ProbeOptimal computes, without mutating the timeline, the slot the
+// optimal insertion policy (OIHSA §4.4) would allocate. Existing slots
+// may be deferred within their accumulated slack (formula 2), so the
+// returned start can be earlier than ProbeBasic's. It returns the
+// insertion position as well (index among current slots; len(slots)
+// means append).
+func (t *Timeline) ProbeOptimal(req Request, slack SlackFunc) (start, finish float64, pos int) {
+	lb := req.lowerBound()
+	if req.Dur <= 0 {
+		return lb, lb, len(t.slots)
+	}
+	n := len(t.slots)
+	// Candidate: append after the last slot (always feasible).
+	bestStart := lb
+	if n > 0 && t.slots[n-1].End > bestStart {
+		bestStart = t.slots[n-1].End
+	}
+	bestPos := n
+	// Scan tail to head computing the accumulated deferrable time
+	// accum_i = min(dt_i, accum_{i+1} + gap(i, i+1)) — formula (2) —
+	// and test insertion before slot i with formula (3).
+	accum := math.Inf(1)
+	for i := n - 1; i >= 0; i-- {
+		dt := slack(t.slots[i].Owner)
+		if dt < 0 {
+			dt = 0
+		}
+		gap := math.Inf(1)
+		if i+1 < n {
+			gap = t.slots[i+1].Start - t.slots[i].End
+			if gap < 0 {
+				gap = 0
+			}
+		}
+		a := dt
+		if accum+gap < a { // accum_{i+1} + gap may be +inf
+			a = accum + gap
+		}
+		accum = a
+		// Insertion before slot i: start at max(lb, end of slot i-1).
+		sigma := lb
+		if i > 0 && t.slots[i-1].End > sigma {
+			sigma = t.slots[i-1].End
+		}
+		if sigma+req.Dur <= t.slots[i].Start+accum+Eps {
+			// Feasible. Scanning towards the head, later discoveries
+			// are earlier positions, so <= keeps the earliest start.
+			if sigma <= bestStart {
+				bestStart = sigma
+				bestPos = i
+			}
+		}
+	}
+	return bestStart, bestStart + req.Dur, bestPos
+}
+
+// InsertOptimal allocates a slot by the optimal insertion policy,
+// deferring the affected slots as needed, and records it. It returns
+// the new slot's interval and the list of slots that were shifted
+// (with their new intervals) so the caller can update the owning
+// edges' placements.
+func (t *Timeline) InsertOptimal(owner Owner, req Request, slack SlackFunc) (start, finish float64, moved []Shifted) {
+	start, finish, pos := t.ProbeOptimal(req, slack)
+	if req.Dur <= 0 {
+		return start, finish, nil
+	}
+	// Defer the affected slots: every slot from pos onward whose start
+	// precedes the space the new slot needs is pushed right just far
+	// enough; the feasibility test guarantees each shift is within the
+	// slot's slack.
+	need := finish
+	for i := pos; i < len(t.slots); i++ {
+		if t.slots[i].Start >= need-Eps {
+			break
+		}
+		delta := need - t.slots[i].Start
+		t.slots[i].Start += delta
+		t.slots[i].End += delta
+		moved = append(moved, Shifted{Owner: t.slots[i].Owner, Start: t.slots[i].Start, End: t.slots[i].End})
+		need = t.slots[i].End
+	}
+	t.insertSorted(Slot{Start: start, End: finish, Owner: owner})
+	return start, finish, moved
+}
+
+// Validate checks the timeline's invariants: slots sorted, strictly
+// non-overlapping (up to Eps), with non-negative times.
+func (t *Timeline) Validate() error {
+	prevEnd := 0.0
+	for i, s := range t.slots {
+		if s.Start < -Eps || s.End < s.Start-Eps {
+			return fmt.Errorf("linksched: slot %d has invalid interval [%v, %v]", i, s.Start, s.End)
+		}
+		if s.Start < prevEnd-Eps {
+			return fmt.Errorf("linksched: slot %d [%v, %v] overlaps previous end %v", i, s.Start, s.End, prevEnd)
+		}
+		if s.End > prevEnd {
+			prevEnd = s.End
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the timeline state for later Restore. The snapshot
+// is a value copy; subsequent timeline mutations do not affect it.
+type Snapshot struct {
+	slots []Slot
+}
+
+// Snapshot returns a restorable copy of the current state.
+func (t *Timeline) Snapshot() Snapshot {
+	return Snapshot{slots: append([]Slot(nil), t.slots...)}
+}
+
+// Restore resets the timeline to a previously captured snapshot.
+func (t *Timeline) Restore(s Snapshot) {
+	t.slots = append(t.slots[:0], s.slots...)
+}
+
+// LastEnd returns the end of the last occupied slot, or 0 for an empty
+// timeline — the earliest time at which the link is free forever.
+func (t *Timeline) LastEnd() float64 {
+	if len(t.slots) == 0 {
+		return 0
+	}
+	return t.slots[len(t.slots)-1].End
+}
+
+// Utilization returns the fraction of [0, horizon] occupied by slots.
+func (t *Timeline) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, s := range t.slots {
+		a, b := s.Start, s.End
+		if b > horizon {
+			b = horizon
+		}
+		if b > a {
+			busy += b - a
+		}
+	}
+	return busy / horizon
+}

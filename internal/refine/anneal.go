@@ -1,0 +1,267 @@
+package refine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+// SAOptions configures the simulated-annealing refiner.
+type SAOptions struct {
+	// Base produces the initial schedule. Nil defaults to BBSA.
+	Base sched.Algorithm
+	// Eval is the edge-scheduling policy used to price candidates.
+	Eval sched.Options
+	// Iters is the number of annealing steps (default 500).
+	Iters int
+	// T0 is the initial temperature as a fraction of the initial
+	// makespan (default 0.05): a move worsening the makespan by
+	// T0·initial is accepted with probability 1/e at the start.
+	T0 float64
+	// Cooling is the per-step geometric cooling factor (default such
+	// that the temperature decays to 1% of T0 over Iters).
+	Cooling float64
+	// Seed drives the proposal and acceptance randomness.
+	Seed int64
+}
+
+func (o SAOptions) withDefaults() SAOptions {
+	if o.Base == nil {
+		o.Base = sched.NewBBSA()
+	}
+	if o.Iters <= 0 {
+		o.Iters = 500
+	}
+	if o.T0 <= 0 {
+		o.T0 = 0.05
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		// Decay to 1% of T0 over the full run.
+		o.Cooling = math.Pow(0.01, 1/float64(o.Iters))
+	}
+	return o
+}
+
+// Anneal runs simulated annealing over the task-to-processor
+// assignment (the SA family the paper's introduction cites, realized
+// on the contention-aware model). The result is never worse than the
+// base algorithm's schedule.
+func Anneal(g *dag.Graph, net *network.Topology, opt SAOptions) (*sched.Schedule, Stats, error) {
+	opt = opt.withDefaults()
+	var st Stats
+
+	base, err := opt.Base.Schedule(g, net)
+	if err != nil {
+		return nil, st, fmt.Errorf("refine: anneal base: %w", err)
+	}
+	assign := make([]network.NodeID, g.NumTasks())
+	for i, tp := range base.Tasks {
+		assign[i] = tp.Proc
+	}
+	name := fmt.Sprintf("Annealed(%s)", opt.Base.Name())
+	cur, err := sched.ScheduleAssignment(g, net, assign, opt.Eval, name)
+	if err != nil {
+		return nil, st, fmt.Errorf("refine: anneal evaluate base: %w", err)
+	}
+	st.Evaluations++
+	st.InitialMakespan = math.Min(base.Makespan, cur.Makespan)
+
+	procs := net.Processors()
+	if len(procs) < 2 || g.NumTasks() == 0 {
+		st.FinalMakespan = st.InitialMakespan
+		if base.Makespan <= cur.Makespan {
+			return base, st, nil
+		}
+		return cur, st, nil
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	curAssign := append([]network.NodeID(nil), assign...)
+	curCost := cur.Makespan
+	best := cur
+	temp := opt.T0 * curCost
+	for st.Iterations = 0; st.Iterations < opt.Iters; st.Iterations++ {
+		tid := dag.TaskID(r.Intn(g.NumTasks()))
+		p := procs[r.Intn(len(procs))]
+		if curAssign[tid] == p {
+			temp *= opt.Cooling
+			continue
+		}
+		old := curAssign[tid]
+		curAssign[tid] = p
+		s, err := sched.ScheduleAssignment(g, net, curAssign, opt.Eval, name)
+		if err != nil {
+			return nil, st, fmt.Errorf("refine: anneal evaluate: %w", err)
+		}
+		st.Evaluations++
+		delta := s.Makespan - curCost
+		if delta <= 0 || (temp > 0 && r.Float64() < math.Exp(-delta/temp)) {
+			curCost = s.Makespan
+			if s.Makespan < best.Makespan {
+				best = s
+				st.Improvements++
+			}
+		} else {
+			curAssign[tid] = old // reject
+		}
+		temp *= opt.Cooling
+	}
+	if base.Makespan < best.Makespan {
+		st.FinalMakespan = base.Makespan
+		return base, st, nil
+	}
+	st.FinalMakespan = best.Makespan
+	return best, st, nil
+}
+
+// GAOptions configures the genetic refiner.
+type GAOptions struct {
+	// Base produces the seed individual. Nil defaults to BBSA.
+	Base sched.Algorithm
+	// Eval is the edge-scheduling policy used to price candidates.
+	Eval sched.Options
+	// Population is the number of individuals (default 16).
+	Population int
+	// Generations is the number of evolution rounds (default 20).
+	Generations int
+	// MutationRate is the per-gene mutation probability (default 0.05).
+	MutationRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o GAOptions) withDefaults() GAOptions {
+	if o.Base == nil {
+		o.Base = sched.NewBBSA()
+	}
+	if o.Population <= 1 {
+		o.Population = 16
+	}
+	if o.Generations <= 0 {
+		o.Generations = 20
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.05
+	}
+	return o
+}
+
+// Evolve runs a steady-state genetic algorithm over assignments
+// (chromosome = task→processor vector; one-point crossover; uniform
+// mutation; tournament selection; elitism of one). The result is
+// never worse than the base algorithm's schedule.
+func Evolve(g *dag.Graph, net *network.Topology, opt GAOptions) (*sched.Schedule, Stats, error) {
+	opt = opt.withDefaults()
+	var st Stats
+
+	base, err := opt.Base.Schedule(g, net)
+	if err != nil {
+		return nil, st, fmt.Errorf("refine: evolve base: %w", err)
+	}
+	name := fmt.Sprintf("Evolved(%s)", opt.Base.Name())
+	procs := net.Processors()
+	n := g.NumTasks()
+
+	type indiv struct {
+		genes []network.NodeID
+		cost  float64
+	}
+	evalIndiv := func(genes []network.NodeID) (float64, *sched.Schedule, error) {
+		s, err := sched.ScheduleAssignment(g, net, genes, opt.Eval, name)
+		if err != nil {
+			return 0, nil, err
+		}
+		st.Evaluations++
+		return s.Makespan, s, nil
+	}
+
+	seed := make([]network.NodeID, n)
+	for i, tp := range base.Tasks {
+		seed[i] = tp.Proc
+	}
+	seedCost, seedSched, err := evalIndiv(seed)
+	if err != nil {
+		return nil, st, fmt.Errorf("refine: evolve evaluate seed: %w", err)
+	}
+	st.InitialMakespan = math.Min(base.Makespan, seedCost)
+	best := seedSched
+
+	if len(procs) < 2 || n == 0 {
+		st.FinalMakespan = st.InitialMakespan
+		if base.Makespan <= best.Makespan {
+			return base, st, nil
+		}
+		return best, st, nil
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	pop := make([]indiv, opt.Population)
+	pop[0] = indiv{genes: seed, cost: seedCost}
+	for i := 1; i < opt.Population; i++ {
+		genes := append([]network.NodeID(nil), seed...)
+		// Diversify: remap a random fraction of tasks.
+		for j := range genes {
+			if r.Float64() < 0.2 {
+				genes[j] = procs[r.Intn(len(procs))]
+			}
+		}
+		cost, s, err := evalIndiv(genes)
+		if err != nil {
+			return nil, st, err
+		}
+		pop[i] = indiv{genes: genes, cost: cost}
+		if cost < best.Makespan {
+			best = s
+		}
+	}
+	tournament := func() indiv {
+		a := pop[r.Intn(len(pop))]
+		b := pop[r.Intn(len(pop))]
+		if a.cost <= b.cost {
+			return a
+		}
+		return b
+	}
+	for gen := 0; gen < opt.Generations; gen++ {
+		st.Iterations++
+		next := make([]indiv, 0, opt.Population)
+		// Elitism: carry the incumbent best individual.
+		bestIdx := 0
+		for i := range pop {
+			if pop[i].cost < pop[bestIdx].cost {
+				bestIdx = i
+			}
+		}
+		next = append(next, pop[bestIdx])
+		for len(next) < opt.Population {
+			pa, pb := tournament(), tournament()
+			cut := r.Intn(n)
+			child := make([]network.NodeID, n)
+			copy(child[:cut], pa.genes[:cut])
+			copy(child[cut:], pb.genes[cut:])
+			for j := range child {
+				if r.Float64() < opt.MutationRate {
+					child[j] = procs[r.Intn(len(procs))]
+				}
+			}
+			cost, s, err := evalIndiv(child)
+			if err != nil {
+				return nil, st, err
+			}
+			if cost < best.Makespan {
+				best = s
+				st.Improvements++
+			}
+			next = append(next, indiv{genes: child, cost: cost})
+		}
+		pop = next
+	}
+	if base.Makespan < best.Makespan {
+		st.FinalMakespan = base.Makespan
+		return base, st, nil
+	}
+	st.FinalMakespan = best.Makespan
+	return best, st, nil
+}

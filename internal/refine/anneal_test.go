@@ -1,0 +1,140 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+func randomInstance(t *testing.T, seed int64, tasks, procs int) (*dag.Graph, *network.Topology) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    tasks,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+	})
+	net := network.RandomCluster(r, network.RandomClusterParams{
+		Processors: procs, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+	return g, net
+}
+
+func TestAnnealNeverWorseThanBase(t *testing.T) {
+	g, net := randomInstance(t, 21, 30, 6)
+	for _, base := range []sched.Algorithm{sched.NewBA(), sched.NewOIHSA()} {
+		bs, err := base.Schedule(g, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, st, err := Anneal(g, net, SAOptions{Base: base, Iters: 120, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := verify.Verify(s); !res.OK() {
+			t.Fatalf("annealed schedule invalid: %v", res.Err())
+		}
+		if s.Makespan > bs.Makespan+1e-6 {
+			t.Errorf("annealed (%v) worse than base %s (%v)", s.Makespan, base.Name(), bs.Makespan)
+		}
+		if st.Evaluations == 0 {
+			t.Error("no evaluations")
+		}
+	}
+}
+
+func TestAnnealEscapesBadStart(t *testing.T) {
+	g := dag.New()
+	g.AddTask("t1", 100)
+	g.AddTask("t2", 100)
+	g.AddTask("t3", 100)
+	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+	s, _, err := Anneal(g, net, SAOptions{Base: badScheduler{}, Iters: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan > 100+1e-9 {
+		t.Fatalf("annealing failed to spread independent tasks: %v", s.Makespan)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	g, net := randomInstance(t, 22, 25, 5)
+	a, sa, err := Anneal(g, net, SAOptions{Iters: 80, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Anneal(g, net, SAOptions{Iters: 80, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || sa != sb {
+		t.Fatal("annealing nondeterministic for equal seeds")
+	}
+}
+
+func TestEvolveNeverWorseThanBase(t *testing.T) {
+	g, net := randomInstance(t, 23, 30, 6)
+	for _, base := range []sched.Algorithm{sched.NewBA(), sched.NewBBSA()} {
+		bs, err := base.Schedule(g, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, st, err := Evolve(g, net, GAOptions{Base: base, Population: 8, Generations: 6, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := verify.Verify(s); !res.OK() {
+			t.Fatalf("evolved schedule invalid: %v", res.Err())
+		}
+		if s.Makespan > bs.Makespan+1e-6 {
+			t.Errorf("evolved (%v) worse than base %s (%v)", s.Makespan, base.Name(), bs.Makespan)
+		}
+		if st.Evaluations < 8 {
+			t.Errorf("too few evaluations: %d", st.Evaluations)
+		}
+	}
+}
+
+func TestEvolveEscapesBadStart(t *testing.T) {
+	g := dag.New()
+	g.AddTask("t1", 100)
+	g.AddTask("t2", 100)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s, _, err := Evolve(g, net, GAOptions{Base: badScheduler{}, Population: 10, Generations: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan > 100+1e-9 {
+		t.Fatalf("GA failed to split independent tasks: %v", s.Makespan)
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	g, net := randomInstance(t, 24, 20, 4)
+	a, _, err := Evolve(g, net, GAOptions{Population: 6, Generations: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Evolve(g, net, GAOptions{Population: 6, Generations: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("GA nondeterministic for equal seeds")
+	}
+}
+
+func TestMetaheuristicsSingleProcessor(t *testing.T) {
+	g := dag.Chain(3, 10, 10)
+	net := network.Star(1, network.Uniform(1), network.Uniform(1))
+	if s, _, err := Anneal(g, net, SAOptions{Seed: 1}); err != nil || s.Makespan != 30 {
+		t.Fatalf("anneal on 1 proc: %v, %v", s, err)
+	}
+	if s, _, err := Evolve(g, net, GAOptions{Seed: 1}); err != nil || s.Makespan != 30 {
+		t.Fatalf("evolve on 1 proc: %v, %v", s, err)
+	}
+}

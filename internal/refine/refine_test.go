@@ -1,0 +1,138 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+func TestRefineNeverWorseThanBase(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    30,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 6, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+		for _, base := range []sched.Algorithm{sched.NewBA(), sched.NewOIHSA(), sched.NewBBSA()} {
+			bs, err := base.Schedule(g, net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, st, err := Refine(g, net, Options{Base: base, MaxIters: 60, Seed: int64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res := verify.Verify(s); !res.OK() {
+				t.Fatalf("refined schedule invalid: %v", res.Err())
+			}
+			if s.Makespan > bs.Makespan+1e-6 {
+				t.Errorf("refined (%v) worse than base %s (%v)", s.Makespan, base.Name(), bs.Makespan)
+			}
+			if st.Evaluations < 1 {
+				t.Errorf("no evaluations recorded")
+			}
+			if st.FinalMakespan > st.InitialMakespan+1e-6 {
+				t.Errorf("stats regressed: %+v", st)
+			}
+		}
+	}
+}
+
+func TestRefineFindsObviousImprovement(t *testing.T) {
+	// Two independent heavy tasks and a machine with two processors:
+	// a deliberately bad base that puts both on one processor must be
+	// repaired by a single move.
+	g := dag.New()
+	g.AddTask("t1", 100)
+	g.AddTask("t2", 100)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+
+	bad := badScheduler{}
+	s, st, err := Refine(g, net, Options{Base: bad, MaxIters: 100, Patience: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan > 100+1e-9 {
+		t.Fatalf("refiner failed to split independent tasks: makespan %v", s.Makespan)
+	}
+	if st.Improvements == 0 {
+		t.Fatal("no improvements recorded")
+	}
+	if st.ImprovementPct() <= 0 {
+		t.Fatalf("improvement pct %v", st.ImprovementPct())
+	}
+}
+
+// badScheduler dumps every task on the first processor.
+type badScheduler struct{}
+
+func (badScheduler) Name() string { return "bad" }
+
+func (badScheduler) Schedule(g *dag.Graph, net *network.Topology) (*sched.Schedule, error) {
+	assign := make([]network.NodeID, g.NumTasks())
+	for i := range assign {
+		assign[i] = net.Processors()[0]
+	}
+	return sched.ScheduleAssignment(g, net, assign, sched.Options{}, "bad")
+}
+
+func TestRefineSingleProcessorNoop(t *testing.T) {
+	g := dag.Chain(4, 10, 10)
+	net := network.Star(1, network.Uniform(1), network.Uniform(1))
+	s, st, err := Refine(g, net, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 40 {
+		t.Fatalf("makespan %v, want 40", s.Makespan)
+	}
+	if st.Iterations != 0 {
+		t.Fatalf("search ran on a single-processor machine")
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    25,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 50},
+	})
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	a, sa, err := Refine(g, net, Options{MaxIters: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Refine(g, net, Options{MaxIters: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || sa != sb {
+		t.Fatalf("nondeterministic refinement: %v/%v, %+v/%+v", a.Makespan, b.Makespan, sa, sb)
+	}
+}
+
+func TestRefineWithHigherFidelityEval(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    25,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 150},
+	})
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	eval := sched.NewOIHSA().Opts
+	s, _, err := Refine(g, net, Options{Eval: eval, MaxIters: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := verify.Verify(s); !res.OK() {
+		t.Fatal(res.Err())
+	}
+}

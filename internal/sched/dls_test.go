@@ -1,0 +1,134 @@
+package sched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+func TestDLSBasics(t *testing.T) {
+	g := dag.Chain(4, 10, 5)
+	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+	s := mustSchedule(t, sched.NewDLS(), g, net)
+	// A chain stays serial: makespan ≥ 40; local execution gives exactly 40.
+	if s.Makespan < 40-1e-9 {
+		t.Fatalf("makespan %v below serial chain bound", s.Makespan)
+	}
+	if s.Algorithm != "DLS" {
+		t.Fatalf("name %q", s.Algorithm)
+	}
+}
+
+func TestDLSAllTasksScheduledOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    50,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+	})
+	net := network.RandomCluster(r, network.RandomClusterParams{
+		Processors: 6, ProcSpeed: network.UniformRange(r, 1, 10),
+		LinkSpeed: network.UniformRange(r, 1, 10)})
+	s := mustSchedule(t, sched.NewDLS(), g, net)
+	for i, tp := range s.Tasks {
+		if tp.Proc < 0 {
+			t.Fatalf("task %d unscheduled", i)
+		}
+	}
+}
+
+func TestDLSPrefersFastProcessors(t *testing.T) {
+	// Independent tasks, one fast and one slow processor: DLS's
+	// dynamic level (bl/speed) must favour the fast one for the bulk
+	// of the work.
+	g := dag.New()
+	for i := 0; i < 8; i++ {
+		g.AddTask("", 100)
+	}
+	net := network.NewTopology()
+	fast := net.AddProcessor("fast", 10)
+	slow := net.AddProcessor("slow", 1)
+	net.AddDuplex(fast, slow, 1)
+	s := mustSchedule(t, sched.NewDLS(), g, net)
+	onFast := 0
+	for _, tp := range s.Tasks {
+		if tp.Proc == fast {
+			onFast++
+		}
+	}
+	if onFast < 5 {
+		t.Fatalf("only %d of 8 tasks on the 10x faster processor", onFast)
+	}
+}
+
+func TestCPOPPinsCriticalPath(t *testing.T) {
+	// A chain plus a cheap side task: the whole chain is the critical
+	// path and must land on one processor (the fastest).
+	g := dag.New()
+	a := g.AddTask("a", 100)
+	b := g.AddTask("b", 100)
+	c := g.AddTask("c", 100)
+	g.AddEdge(a, b, 50)
+	g.AddEdge(b, c, 50)
+	side := g.AddTask("side", 1)
+	_ = side
+	net := network.NewTopology()
+	p0 := net.AddProcessor("p0", 1)
+	p1 := net.AddProcessor("p1", 2) // fastest
+	net.AddDuplex(p0, p1, 1)
+	s := mustSchedule(t, sched.NewCPOP(), g, net)
+	for _, tid := range []dag.TaskID{a, b, c} {
+		if s.Tasks[tid].Proc != p1 {
+			t.Fatalf("critical-path task %d not on the fastest processor", tid)
+		}
+	}
+	// The chain executes back to back on p1: 300/2 = 150.
+	if math.Abs(s.Tasks[c].Finish-150) > 1e-9 {
+		t.Fatalf("critical path finished at %v, want 150", s.Tasks[c].Finish)
+	}
+}
+
+func TestCPOPVerifiesOnRandomInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 5; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    50,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 8,
+			ProcSpeed:  network.UniformRange(r, 1, 10),
+			LinkSpeed:  network.UniformRange(r, 1, 10),
+		})
+		mustSchedule(t, sched.NewCPOP(), g, net)
+		mustSchedule(t, sched.NewDLS(), g, net)
+	}
+}
+
+func TestDLSAndCPOPCompetitive(t *testing.T) {
+	// Sanity: the extra baselines should land in the same order of
+	// magnitude as OIHSA on random instances (they share the edge
+	// machinery), not collapse to something pathological.
+	r := rand.New(rand.NewSource(16))
+	var oihsa, dls, cpop float64
+	for trial := 0; trial < 6; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    60,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 8, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+		oihsa += mustSchedule(t, sched.NewOIHSA(), g, net).Makespan
+		dls += mustSchedule(t, sched.NewDLS(), g, net).Makespan
+		cpop += mustSchedule(t, sched.NewCPOP(), g, net).Makespan
+	}
+	if dls > 3*oihsa || cpop > 3*oihsa {
+		t.Fatalf("baselines pathological: OIHSA %.0f, DLS %.0f, CPOP %.0f", oihsa, dls, cpop)
+	}
+}

@@ -1,0 +1,399 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/linksched"
+	"repro/internal/network"
+)
+
+// mkState builds a fresh state for white-box tests.
+func mkState(t *testing.T, g *dag.Graph, net *network.Topology, opts Options) *state {
+	t.Helper()
+	s, err := newState(g, net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestReadyTime(t *testing.T) {
+	g := dag.New()
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 20)
+	c := g.AddTask("c", 1)
+	g.AddEdge(a, c, 5)
+	g.AddEdge(b, c, 5)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	p := net.Processors()
+	if _, err := s.placeTask(a, p[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.placeTask(b, p[1]); err != nil {
+		t.Fatal(err)
+	}
+	// a finishes at 10, b at 20 → c ready at 20.
+	if got := s.readyTime(c); got != 20 {
+		t.Fatalf("readyTime=%v, want 20", got)
+	}
+	if got := s.readyTime(a); got != 0 {
+		t.Fatalf("source readyTime=%v, want 0", got)
+	}
+}
+
+func TestCommAtReadyDelaysEarlyPredecessor(t *testing.T) {
+	// a (fast) and b (slow) feed c. Under CommAtReady, a's data may not
+	// enter the network before b finishes.
+	g := dag.New()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 50)
+	c := g.AddTask("c", 1)
+	ea := g.AddEdge(a, c, 10)
+	g.AddEdge(b, c, 10)
+	net := network.Line(3, network.Uniform(1), network.Uniform(1))
+	p := net.Processors()
+
+	run := func(cs CommStart) *state {
+		s := mkState(t, g, net, Options{CommStart: cs})
+		if _, err := s.placeTask(a, p[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.placeTask(b, p[1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.placeTask(c, p[2]); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	ready := run(CommAtReady)
+	if es := ready.edges[ea]; es == nil || es.Placements[0].Start < 50 {
+		t.Fatalf("at-ready: edge a->c entered the network at %v, want ≥ 50 (b's finish)",
+			es.Placements[0].Start)
+	}
+	eager := run(CommAtSourceFinish)
+	if es := eager.edges[ea]; es == nil || es.Placements[0].Start >= 50 {
+		t.Fatalf("eager: edge a->c entered the network at %v, want < 50",
+			es.Placements[0].Start)
+	}
+}
+
+func TestTxnRollbackRestoresEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    20,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
+	})
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{Insertion: InsertionOptimal, ProcSelect: ProcSelectEFT})
+	order, err := g.PriorityOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit the first half of the tasks.
+	half := len(order) / 2
+	for _, tid := range order[:half] {
+		proc, err := s.selectProcessor(tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.placeTask(tid, proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot observable state.
+	type snap struct {
+		tasks      []TaskPlacement
+		procFinish []float64
+		slotCounts []int
+		placements map[dag.EdgeID][]EdgePlacement
+	}
+	capture := func() snap {
+		sn := snap{
+			tasks:      append([]TaskPlacement(nil), s.tasks...),
+			procFinish: append([]float64(nil), s.procFinish...),
+			placements: map[dag.EdgeID][]EdgePlacement{},
+		}
+		for _, tl := range s.tl {
+			sn.slotCounts = append(sn.slotCounts, tl.Len())
+		}
+		for i, es := range s.edges {
+			if es != nil {
+				sn.placements[dag.EdgeID(i)] = append([]EdgePlacement(nil), es.Placements...)
+			}
+		}
+		return sn
+	}
+	before := capture()
+	// Tentatively place the next task on every processor and roll back.
+	next := order[half]
+	for _, p := range net.Processors() {
+		s.begin()
+		if _, err := s.placeTask(next, p); err != nil {
+			t.Fatal(err)
+		}
+		s.rollback()
+	}
+	after := capture()
+	for i := range before.tasks {
+		if before.tasks[i] != after.tasks[i] {
+			t.Fatalf("task %d placement changed by rollback: %+v -> %+v", i, before.tasks[i], after.tasks[i])
+		}
+	}
+	for i := range before.procFinish {
+		if before.procFinish[i] != after.procFinish[i] {
+			t.Fatalf("proc %d clock changed by rollback", i)
+		}
+	}
+	for i := range before.slotCounts {
+		if before.slotCounts[i] != after.slotCounts[i] {
+			t.Fatalf("link %d slot count changed by rollback", i)
+		}
+	}
+	for id, pls := range before.placements {
+		got := after.placements[id]
+		if len(got) != len(pls) {
+			t.Fatalf("edge %d placements changed by rollback", id)
+		}
+		for i := range pls {
+			if pls[i].Link != got[i].Link || pls[i].Start != got[i].Start || pls[i].Finish != got[i].Finish {
+				t.Fatalf("edge %d leg %d changed by rollback: %+v -> %+v", id, i, pls[i], got[i])
+			}
+		}
+	}
+}
+
+func TestTxnRollbackRestoresBandwidth(t *testing.T) {
+	g := dag.Diamond(10, 50)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{Engine: EngineBandwidth, ProcSelect: ProcSelectEFT})
+	order, _ := g.PriorityOrder()
+	if _, err := s.placeTask(order[0], net.Processors()[0]); err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]int, len(s.bw))
+	for i, bw := range s.bw {
+		segs[i] = bw.NumSegments()
+	}
+	s.begin()
+	if _, err := s.placeTask(order[1], net.Processors()[1]); err != nil {
+		t.Fatal(err)
+	}
+	s.rollback()
+	for i, bw := range s.bw {
+		if bw.NumSegments() != segs[i] {
+			t.Fatalf("bw timeline %d changed by rollback", i)
+		}
+	}
+}
+
+func TestNestedTxnPanics(t *testing.T) {
+	g := dag.Chain(2, 1, 1)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	s.begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested begin did not panic")
+		}
+	}()
+	s.begin()
+}
+
+func TestRollbackWithoutTxnIsNoop(t *testing.T) {
+	g := dag.Chain(2, 1, 1)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	s.rollback() // must not panic
+}
+
+func TestOrderedPreds(t *testing.T) {
+	g := dag.New()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	d := g.AddTask("d", 1)
+	e1 := g.AddEdge(a, d, 10)
+	e2 := g.AddEdge(b, d, 30)
+	e3 := g.AddEdge(c, d, 20)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+
+	s := mkState(t, g, net, Options{EdgeOrder: EdgeOrderFIFO})
+	if got := s.orderedPreds(d); got[0] != e1 || got[1] != e2 || got[2] != e3 {
+		t.Fatalf("fifo order %v", got)
+	}
+	s = mkState(t, g, net, Options{EdgeOrder: EdgeOrderDescCost})
+	if got := s.orderedPreds(d); got[0] != e2 || got[1] != e3 || got[2] != e1 {
+		t.Fatalf("desc order %v", got)
+	}
+	s = mkState(t, g, net, Options{EdgeOrder: EdgeOrderAscCost})
+	if got := s.orderedPreds(d); got[0] != e1 || got[1] != e3 || got[2] != e2 {
+		t.Fatalf("asc order %v", got)
+	}
+}
+
+func TestSlackFuncMatchesPlacements(t *testing.T) {
+	g := dag.Chain(2, 1, 100)
+	net := network.Line(3, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	p := net.Processors()
+	if _, err := s.placeTask(0, p[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.placeTask(1, p[2]); err != nil {
+		t.Fatal(err)
+	}
+	// The chain edge crosses two links.
+	es := s.edges[0]
+	if es == nil || len(es.Placements) != 2 {
+		t.Fatalf("edge schedule %+v", es)
+	}
+	slack := s.slackFunc()
+	// Last leg always has zero slack.
+	if got := slack(linksched.Owner{Edge: 0, Leg: 1}); got != 0 {
+		t.Fatalf("last-leg slack %v, want 0", got)
+	}
+	want := es.Placements[1].Start - es.Placements[0].Start
+	if v := es.Placements[1].Finish - es.Placements[0].Finish; v < want {
+		want = v
+	}
+	if got := slack(linksched.Owner{Edge: 0, Leg: 0}); got != want {
+		t.Fatalf("slack %v, want %v", got, want)
+	}
+	// Unknown owner → zero slack.
+	if got := slack(linksched.Owner{Edge: 0, Leg: 99}); got != 0 {
+		t.Fatalf("out-of-range slack %v", got)
+	}
+}
+
+func TestSelectByEstimatePrefersPredecessorProcessor(t *testing.T) {
+	// One predecessor with a huge edge: the §4.1 criterion must keep
+	// the successor on the predecessor's processor (comm term 0 there).
+	g := dag.Chain(2, 10, 1000)
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{ProcSelect: ProcSelectEstimate})
+	p := net.Processors()
+	if _, err := s.placeTask(0, p[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.selectByEstimate(1, true); got != p[2] {
+		t.Fatalf("estimate chose %v, want predecessor's processor %v", got, p[2])
+	}
+	// The communication-blind variant just load-balances: processor 0
+	// is idle and first, so it wins.
+	if got := s.selectByEstimate(1, false); got == p[2] {
+		t.Fatalf("nocomm variant unexpectedly stuck to the predecessor's processor")
+	}
+}
+
+func TestEFTSelectsContentionAwareBest(t *testing.T) {
+	// Two big edges from one source: EFT should discover that fanning
+	// both children out saturates the source's uplink and colocate at
+	// least one child with the source.
+	g := dag.New()
+	src := g.AddTask("src", 1)
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.AddEdge(src, a, 1000)
+	g.AddEdge(src, b, 1000)
+	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+	ls := NewBASinnen()
+	s, err := ls.Schedule(g, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSrc := 0
+	for _, tid := range []dag.TaskID{a, b} {
+		if s.Tasks[tid].Proc == s.Tasks[src].Proc {
+			onSrc++
+		}
+	}
+	if onSrc == 0 {
+		t.Fatalf("EFT fanned out both children despite 1000-cost edges (makespan %v)", s.Makespan)
+	}
+}
+
+func TestTaskInsertionUsesGapWhiteBox(t *testing.T) {
+	g := dag.New()
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	c := g.AddTask("c", 5)
+	g.AddEdge(a, b, 30)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	p := net.Processors()
+
+	place := func(policy TaskPolicy) (bStart, cStart float64) {
+		s := mkState(t, g, net, Options{TaskPolicy: policy})
+		if _, err := s.placeTask(a, p[1]); err != nil { // a on P1: [0,10]
+			t.Fatal(err)
+		}
+		if _, err := s.placeTask(b, p[0]); err != nil { // comm 30 → b on P0 at [40,50]
+			t.Fatal(err)
+		}
+		if _, err := s.placeTask(c, p[0]); err != nil {
+			t.Fatal(err)
+		}
+		return s.tasks[b].Start, s.tasks[c].Start
+	}
+
+	bs, cs := place(TaskAppend)
+	if bs != 40 || cs != 50 {
+		t.Fatalf("append: b at %v (want 40), c at %v (want 50)", bs, cs)
+	}
+	bs, cs = place(TaskInsertion)
+	if bs != 40 || cs != 0 {
+		t.Fatalf("insertion: b at %v (want 40), c at %v (want 0 — the gap)", bs, cs)
+	}
+}
+
+func TestScheduleRejectsInvalidInputs(t *testing.T) {
+	// Cyclic graph.
+	g := dag.New()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	if _, err := NewBA().Schedule(g, net); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+	// Disconnected network.
+	g2 := dag.Chain(2, 1, 1)
+	bad := network.NewTopology()
+	bad.AddProcessor("a", 1)
+	bad.AddProcessor("b", 1)
+	if _, err := NewBA().Schedule(g2, bad); err == nil {
+		t.Fatal("disconnected network accepted")
+	}
+	if _, err := NewClassic().Schedule(g, net); err == nil {
+		t.Fatal("classic accepted cyclic graph")
+	}
+	if _, err := NewClassicReplay().Schedule(g, net); err == nil {
+		t.Fatal("replay accepted cyclic graph")
+	}
+}
+
+func TestZeroCostEdgesAndTasks(t *testing.T) {
+	// Zero-cost tasks and edges must not break any engine.
+	g := dag.New()
+	a := g.AddTask("a", 0)
+	b := g.AddTask("b", 0)
+	c := g.AddTask("c", 5)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	for _, alg := range []Algorithm{NewBA(), NewOIHSA(), NewBBSA()} {
+		s, err := alg.Schedule(g, net)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if s.Makespan != 5 {
+			t.Errorf("%s: makespan %v, want 5", alg.Name(), s.Makespan)
+		}
+	}
+}

@@ -1,0 +1,923 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/linksched"
+	"repro/internal/network"
+)
+
+// Routing selects the route-finding policy.
+type Routing int
+
+const (
+	// RoutingBFS is minimal (fewest-links) routing via breadth-first
+	// search — the Basic Algorithm's policy.
+	RoutingBFS Routing = iota
+	// RoutingDijkstra is the paper's modified routing (§4.3): Dijkstra
+	// whose distance is the edge's finish time on each link, probed
+	// against the current link workload.
+	RoutingDijkstra
+)
+
+func (r Routing) String() string {
+	switch r {
+	case RoutingBFS:
+		return "bfs"
+	case RoutingDijkstra:
+		return "dijkstra"
+	}
+	return fmt.Sprintf("Routing(%d)", int(r))
+}
+
+// Insertion selects the slot insertion policy on route links
+// (exclusive-slot engine only).
+type Insertion int
+
+const (
+	// InsertionBasic places each edge in the earliest idle interval
+	// without touching existing slots (BA, §3).
+	InsertionBasic Insertion = iota
+	// InsertionOptimal may defer already-scheduled edges within their
+	// causality slack to open an earlier interval (OIHSA, §4.4).
+	InsertionOptimal
+)
+
+func (i Insertion) String() string {
+	switch i {
+	case InsertionBasic:
+		return "basic"
+	case InsertionOptimal:
+		return "optimal"
+	}
+	return fmt.Sprintf("Insertion(%d)", int(i))
+}
+
+// EdgeOrder selects the order in which a ready task's incoming
+// communications are scheduled.
+type EdgeOrder int
+
+const (
+	// EdgeOrderFIFO schedules incoming edges in graph insertion order
+	// (the Basic Algorithm does not prioritize edges).
+	EdgeOrderFIFO EdgeOrder = iota
+	// EdgeOrderDescCost schedules the costliest edge first (§4.2):
+	// the large edge dominates the task's start time, and small edges
+	// can still find earlier idle intervals afterwards.
+	EdgeOrderDescCost
+	// EdgeOrderAscCost schedules the cheapest edge first (ablation).
+	EdgeOrderAscCost
+)
+
+func (o EdgeOrder) String() string {
+	switch o {
+	case EdgeOrderFIFO:
+		return "fifo"
+	case EdgeOrderDescCost:
+		return "desc"
+	case EdgeOrderAscCost:
+		return "asc"
+	}
+	return fmt.Sprintf("EdgeOrder(%d)", int(o))
+}
+
+// ProcSelect selects the processor-choice policy for a ready task.
+type ProcSelect int
+
+const (
+	// ProcSelectEFT tentatively schedules the task (and all its
+	// incoming communications) on every processor and keeps the one
+	// with the earliest finish time — BA's policy. It is accurate but
+	// expensive: it schedules each task |P| times.
+	ProcSelectEFT ProcSelect = iota
+	// ProcSelectEstimate is OIHSA's closed-form criterion (§4.1):
+	// minimize max(max_j(tf(n_j) + c(e_j)/MLS), tf(P)) + w(n)/s(P),
+	// with MLS the mean link speed and the communication term dropped
+	// for predecessors already on P.
+	ProcSelectEstimate
+	// ProcSelectNoComm is the Basic Algorithm's processor choice as the
+	// paper characterizes it (§4.1: BA picks "the earliest finish time
+	// of the task ... while ignoring the effect of edge communication"):
+	// minimize max(ready(n), tf(P)) + w(n)/s(P) with no communication
+	// term at all.
+	ProcSelectNoComm
+)
+
+func (p ProcSelect) String() string {
+	switch p {
+	case ProcSelectEFT:
+		return "eft"
+	case ProcSelectEstimate:
+		return "estimate"
+	case ProcSelectNoComm:
+		return "nocomm"
+	}
+	return fmt.Sprintf("ProcSelect(%d)", int(p))
+}
+
+// Engine selects the link transfer model.
+type Engine int
+
+const (
+	// EngineSlots gives each communication exclusive use of a link for
+	// a contiguous interval (BA, OIHSA).
+	EngineSlots Engine = iota
+	// EngineBandwidth lets communications share a link's bandwidth in
+	// fractions, forwarding chunks downstream no faster than they
+	// arrive (BBSA, §5).
+	EngineBandwidth
+	// EnginePackets divides every message into packets of
+	// Options.PacketSize volume units; each packet occupies each route
+	// link exclusively and is forwarded only after it is fully
+	// received (packet store-and-forward), so packets of one message
+	// pipeline across the route. The paper assumes circuit switching
+	// and notes BA "does not consider the possible division of
+	// communication into packets" — this engine is that extension.
+	EnginePackets
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSlots:
+		return "slots"
+	case EngineBandwidth:
+		return "bandwidth"
+	case EnginePackets:
+		return "packets"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Switching selects the network switching technique, i.e. how a
+// message propagates across the links of its route.
+type Switching int
+
+const (
+	// CutThrough lets a message stream through intermediate stations:
+	// its occupation of the next link may start as soon as it started
+	// on the previous one (§2.2, the paper's model).
+	CutThrough Switching = iota
+	// StoreAndForward buffers the whole message at every intermediate
+	// station: the next link's transfer starts only after the previous
+	// link's transfer completed. The paper contrasts its model against
+	// this technique (§2.2); it is provided as an extension so the
+	// difference can be measured (ablation A8).
+	StoreAndForward
+)
+
+func (s Switching) String() string {
+	switch s {
+	case CutThrough:
+		return "cut-through"
+	case StoreAndForward:
+		return "store-and-forward"
+	}
+	return fmt.Sprintf("Switching(%d)", int(s))
+}
+
+// CommStart selects when a ready task's incoming communications may
+// enter the network.
+type CommStart int
+
+const (
+	// CommAtReady starts every incoming communication at the ready
+	// task's ready time — the finish of its latest predecessor. This is
+	// the paper's dynamic-scheduling semantics (§4.1: "the start time
+	// of the communication data from predecessors to the ready task is
+	// all the same, that is, the finish time of the predecessor which
+	// finishes latest at runtime"): the task's target processor is only
+	// decided once the task is ready, so no data can be shipped before.
+	CommAtReady CommStart = iota
+	// CommAtSourceFinish lets each communication enter the network as
+	// soon as its own source task finishes — an eager extension beyond
+	// the paper that presumes the mapping is known in advance.
+	CommAtSourceFinish
+)
+
+func (c CommStart) String() string {
+	switch c {
+	case CommAtReady:
+		return "ready"
+	case CommAtSourceFinish:
+		return "eager"
+	}
+	return fmt.Sprintf("CommStart(%d)", int(c))
+}
+
+// Priority selects the static task ordering of the list scheduler.
+type Priority int
+
+const (
+	// PriorityBottomLevel orders by decreasing bottom level including
+	// communication costs — the paper's scheme (§2.1).
+	PriorityBottomLevel Priority = iota
+	// PriorityCompBottomLevel orders by decreasing computation-only
+	// bottom level (classic DLS-style static levels).
+	PriorityCompBottomLevel
+	// PriorityCriticality orders by decreasing bl+tl (critical-path
+	// tasks first), clamped to stay topological.
+	PriorityCriticality
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityBottomLevel:
+		return "bl"
+	case PriorityCompBottomLevel:
+		return "bl-comp"
+	case PriorityCriticality:
+		return "bl+tl"
+	}
+	return fmt.Sprintf("Priority(%d)", int(p))
+}
+
+// TaskPolicy selects how tasks are placed on processor timelines.
+type TaskPolicy int
+
+const (
+	// TaskAppend starts a task no earlier than everything already
+	// scheduled on its processor: start = max(DRT, t_f(P)). This is
+	// the paper's model (§2.1 uses the processor's current finish
+	// time t_f(P)).
+	TaskAppend TaskPolicy = iota
+	// TaskInsertion allows a task into an earlier idle gap of its
+	// processor, like insertion-based variants of HEFT — an extension
+	// beyond the paper (ablation A9).
+	TaskInsertion
+)
+
+func (p TaskPolicy) String() string {
+	switch p {
+	case TaskAppend:
+		return "append"
+	case TaskInsertion:
+		return "insertion"
+	}
+	return fmt.Sprintf("TaskPolicy(%d)", int(p))
+}
+
+// Options configures the unified contention-aware list scheduler.
+type Options struct {
+	Routing    Routing
+	Insertion  Insertion
+	EdgeOrder  EdgeOrder
+	ProcSelect ProcSelect
+	Engine     Engine
+	CommStart  CommStart
+	// HopDelay is the switching delay added at every hop along a
+	// route. The paper neglects it ("this delay is typically very
+	// small ... but it can be included if necessary", §2.2); setting it
+	// non-zero enables the extension: an edge's admissible start and
+	// required finish on link k+1 are those of link k plus HopDelay.
+	HopDelay float64
+	// Switching selects cut-through (the paper's model, default) or
+	// store-and-forward message propagation.
+	Switching Switching
+	// TaskPolicy selects append-only (the paper's model, default) or
+	// insertion-based task placement on processors.
+	TaskPolicy TaskPolicy
+	// PacketSize is the volume units per packet for EnginePackets
+	// (default 100 when that engine is selected).
+	PacketSize float64
+	// PacketOverhead models per-packet header/switching cost as extra
+	// link occupation time per packet (default 0). Smaller packets
+	// pipeline better but pay this overhead more often.
+	PacketOverhead float64
+	// Priority selects the static task ordering (default: bottom
+	// levels with communication, the paper's scheme).
+	Priority Priority
+	// Duplication enables source-task duplication (an extension in the
+	// spirit of the duplication-based algorithms the paper's intro
+	// cites): when a ready task's data from a predecessor-free task
+	// would arrive later than simply re-executing that task locally,
+	// the predecessor is duplicated onto the destination processor and
+	// the communication is dropped. Requires TaskAppend placement.
+	Duplication bool
+}
+
+// priorityOrder returns the task order selected by the options.
+func priorityOrder(g *dag.Graph, p Priority) ([]dag.TaskID, error) {
+	switch p {
+	case PriorityCompBottomLevel:
+		return g.CompPriorityOrder()
+	case PriorityCriticality:
+		return g.CriticalityPriorityOrder()
+	default:
+		return g.PriorityOrder()
+	}
+}
+
+// ListScheduler is the unified contention-aware list scheduler. The
+// three named algorithms are fixed Options presets; see NewBA,
+// NewOIHSA and NewBBSA.
+type ListScheduler struct {
+	AlgorithmName string
+	Opts          Options
+}
+
+// NewBA returns the Basic Algorithm as Han & Wang characterize it
+// (§3, §4.1): static bottom-level order, BFS minimal routing, basic
+// insertion on every route link, and earliest-finish processor
+// selection that ignores edge communication. This is the baseline all
+// of the paper's figures compare against.
+func NewBA() *ListScheduler {
+	return &ListScheduler{AlgorithmName: "BA", Opts: Options{
+		Routing: RoutingBFS, Insertion: InsertionBasic,
+		EdgeOrder: EdgeOrderFIFO, ProcSelect: ProcSelectNoComm, Engine: EngineSlots,
+	}}
+}
+
+// NewBASinnen returns the stronger reading of Sinnen & Sousa's Basic
+// Algorithm in which the earliest finish time of each candidate
+// processor is evaluated by tentatively scheduling the task and all of
+// its incoming communications under contention. It is far more
+// expensive (|P| tentative schedules per task) and serves as the
+// strong-baseline ablation (A5 in DESIGN.md).
+func NewBASinnen() *ListScheduler {
+	return &ListScheduler{AlgorithmName: "BA-EFT", Opts: Options{
+		Routing: RoutingBFS, Insertion: InsertionBasic,
+		EdgeOrder: EdgeOrderFIFO, ProcSelect: ProcSelectEFT, Engine: EngineSlots,
+	}}
+}
+
+// NewOIHSA returns the paper's Optimal Insertion Hybrid Scheduling
+// Algorithm.
+func NewOIHSA() *ListScheduler {
+	return &ListScheduler{AlgorithmName: "OIHSA", Opts: Options{
+		Routing: RoutingDijkstra, Insertion: InsertionOptimal,
+		EdgeOrder: EdgeOrderDescCost, ProcSelect: ProcSelectEstimate, Engine: EngineSlots,
+	}}
+}
+
+// NewBBSA returns the paper's Bandwidth Based Scheduling Algorithm.
+// (The paper does not spell out BBSA's processor choice; we reuse
+// OIHSA's §4.1 criterion — see DESIGN.md.)
+func NewBBSA() *ListScheduler {
+	return &ListScheduler{AlgorithmName: "BBSA", Opts: Options{
+		Routing: RoutingDijkstra, EdgeOrder: EdgeOrderDescCost,
+		ProcSelect: ProcSelectEstimate, Engine: EngineBandwidth,
+	}}
+}
+
+// NewCustom returns a scheduler with explicit options, used by the
+// ablation experiments.
+func NewCustom(name string, opts Options) *ListScheduler {
+	return &ListScheduler{AlgorithmName: name, Opts: opts}
+}
+
+// Name implements Algorithm.
+func (l *ListScheduler) Name() string { return l.AlgorithmName }
+
+// state carries all mutable data of one scheduling run.
+type state struct {
+	g    *dag.Graph
+	net  *network.Topology
+	opts Options
+
+	tl  []*linksched.Timeline   // per link, slots engine
+	bw  []*linksched.BWTimeline // per link, bandwidth engine
+	ptl []*linksched.Timeline   // per processor node, insertion policy only
+	mls float64
+
+	procFinish []float64 // per node ID (processor entries only)
+	tasks      []TaskPlacement
+	edges      []*EdgeSchedule
+	dups       []TaskPlacement // duplicated source tasks (Duplication)
+
+	tx *txn // active transaction, or nil
+}
+
+// newState builds the mutable scheduling state for one run.
+func newState(g *dag.Graph, net *network.Topology, opts Options) (*state, error) {
+	if opts.Duplication && opts.TaskPolicy != TaskAppend {
+		return nil, fmt.Errorf("sched: duplication requires the append task policy")
+	}
+	s := &state{g: g, net: net, opts: opts, mls: net.MeanLinkSpeed()}
+	nl := net.NumLinks()
+	switch opts.Engine {
+	case EngineSlots, EnginePackets:
+		s.tl = make([]*linksched.Timeline, nl)
+		for i := range s.tl {
+			s.tl[i] = linksched.NewTimeline()
+		}
+	case EngineBandwidth:
+		s.bw = make([]*linksched.BWTimeline, nl)
+		for i := range s.bw {
+			s.bw[i] = linksched.NewBWTimeline()
+		}
+	default:
+		return nil, fmt.Errorf("sched: unknown engine %v", opts.Engine)
+	}
+	s.procFinish = make([]float64, net.NumNodes())
+	if opts.TaskPolicy == TaskInsertion {
+		s.ptl = make([]*linksched.Timeline, net.NumNodes())
+		for _, p := range net.Processors() {
+			s.ptl[p] = linksched.NewTimeline()
+		}
+	}
+	s.tasks = make([]TaskPlacement, g.NumTasks())
+	for i := range s.tasks {
+		s.tasks[i] = TaskPlacement{Task: dag.TaskID(i), Proc: -1}
+	}
+	s.edges = make([]*EdgeSchedule, g.NumEdges())
+	return s, nil
+}
+
+// Schedule implements Algorithm.
+func (l *ListScheduler) Schedule(g *dag.Graph, net *network.Topology) (*Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newState(g, net, l.Opts)
+	if err != nil {
+		return nil, err
+	}
+	order, err := priorityOrder(g, l.Opts.Priority)
+	if err != nil {
+		return nil, err
+	}
+	for _, tid := range order {
+		proc, err := s.selectProcessor(tid)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.placeTask(tid, proc); err != nil {
+			return nil, err
+		}
+	}
+	return &Schedule{
+		Algorithm:  l.AlgorithmName,
+		Graph:      g,
+		Net:        net,
+		Tasks:      s.tasks,
+		Edges:      s.edges,
+		Makespan:   makespan(s.tasks),
+		HopDelay:   l.Opts.HopDelay,
+		Switching:  l.Opts.Switching,
+		Duplicates: s.dups,
+	}, nil
+}
+
+// selectProcessor picks the processor for a ready task per the
+// configured policy.
+func (s *state) selectProcessor(tid dag.TaskID) (network.NodeID, error) {
+	switch s.opts.ProcSelect {
+	case ProcSelectEstimate:
+		return s.selectByEstimate(tid, true), nil
+	case ProcSelectNoComm:
+		return s.selectByEstimate(tid, false), nil
+	case ProcSelectEFT:
+		return s.selectByEFT(tid)
+	default:
+		return -1, fmt.Errorf("sched: unknown processor selection %v", s.opts.ProcSelect)
+	}
+}
+
+// selectByEstimate implements the closed-form processor criteria: the
+// paper's §4.1 formula when withComm is true (communication estimated
+// as c(e)/MLS for predecessors on other processors), or the
+// communication-blind variant the paper attributes to BA when withComm
+// is false.
+func (s *state) selectByEstimate(tid dag.TaskID, withComm bool) network.NodeID {
+	task := s.g.Task(tid)
+	best := network.NodeID(-1)
+	bestScore := math.Inf(1)
+	for _, p := range s.net.Processors() {
+		ready := s.procFinish[p]
+		for _, eid := range s.g.Pred(tid) {
+			e := s.g.Edge(eid)
+			src := s.tasks[e.From]
+			arr := src.Finish
+			if withComm && src.Proc != p {
+				comm := e.Cost / s.mls
+				if s.opts.Duplication && s.g.InDegree(e.From) == 0 {
+					// The transfer can be replaced by re-running the
+					// predecessor-free source locally.
+					if rerun := s.g.Task(e.From).Cost / s.net.Node(p).Speed; rerun < comm {
+						comm = rerun
+					}
+				}
+				arr += comm
+			}
+			if arr > ready {
+				ready = arr
+			}
+		}
+		score := ready + task.Cost/s.net.Node(p).Speed
+		if score < bestScore-linksched.Eps {
+			bestScore = score
+			best = p
+		}
+	}
+	return best
+}
+
+// selectByEFT tentatively schedules the task on every processor and
+// keeps the earliest finish (BA). The tentative placements are rolled
+// back via the transaction journal.
+func (s *state) selectByEFT(tid dag.TaskID) (network.NodeID, error) {
+	best := network.NodeID(-1)
+	bestFinish := math.Inf(1)
+	for _, p := range s.net.Processors() {
+		s.begin()
+		finish, err := s.placeTask(tid, p)
+		s.rollback()
+		if err != nil {
+			return -1, err
+		}
+		if finish < bestFinish-linksched.Eps {
+			bestFinish = finish
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// readyTime returns the time tid becomes ready: the latest finish of
+// its predecessors (0 for sources). Under the paper's dynamic model
+// this is also when the task's incoming communications may start.
+func (s *state) readyTime(tid dag.TaskID) float64 {
+	ready := 0.0
+	for _, eid := range s.g.Pred(tid) {
+		if f := s.tasks[s.g.Edge(eid).From].Finish; f > ready {
+			ready = f
+		}
+	}
+	return ready
+}
+
+// placeTask schedules all incoming communications of tid towards proc,
+// then the task itself, and returns the task's finish time.
+func (s *state) placeTask(tid dag.TaskID, proc network.NodeID) (float64, error) {
+	preds := s.orderedPreds(tid)
+	ready := s.readyTime(tid)
+	drt := ready
+	for _, eid := range preds {
+		base := ready
+		if s.opts.CommStart == CommAtSourceFinish {
+			base = s.tasks[s.g.Edge(eid).From].Finish
+		}
+		if s.opts.Duplication && s.tryDuplicate(eid, proc, base) {
+			if f := s.procFinish[proc]; f > drt {
+				drt = f
+			}
+			continue
+		}
+		arr, err := s.scheduleEdge(eid, proc, base)
+		if err != nil {
+			return 0, err
+		}
+		if arr > drt {
+			drt = arr
+		}
+	}
+	dur := s.g.Task(tid).Cost / s.net.Node(proc).Speed
+	var start, finish float64
+	if s.opts.TaskPolicy == TaskInsertion {
+		s.touchProcTimeline(proc)
+		owner := linksched.Owner{Edge: int(tid), Leg: -1}
+		start, finish = s.ptl[proc].InsertBasic(owner, linksched.Request{ES: drt, PF: drt, Dur: dur})
+	} else {
+		start = drt
+		if f := s.procFinish[proc]; f > start {
+			start = f
+		}
+		finish = start + dur
+	}
+	s.touchTask(tid)
+	s.tasks[tid] = TaskPlacement{Task: tid, Proc: proc, Start: start, Finish: finish}
+	s.touchProc(proc)
+	if finish > s.procFinish[proc] {
+		s.procFinish[proc] = finish
+	}
+	return finish, nil
+}
+
+// tryDuplicate decides whether to satisfy edge eid by re-executing its
+// (predecessor-free) source task on the destination processor instead
+// of transferring the data. Returns true when the duplicate was placed
+// (the edge then has no network schedule). The decision compares the
+// duplicate's local finish against the mean-link-speed transfer
+// estimate, so it stays cheap; the actual gain is whatever contention
+// would have added on top.
+func (s *state) tryDuplicate(eid dag.EdgeID, proc network.NodeID, base float64) bool {
+	e := s.g.Edge(eid)
+	src := s.tasks[e.From]
+	if src.Proc == proc {
+		return false // local anyway
+	}
+	if s.g.InDegree(e.From) != 0 {
+		return false // only predecessor-free tasks are duplicated
+	}
+	// Reuse an existing duplicate of the same task on this processor.
+	for _, d := range s.dups {
+		if d.Task == e.From && d.Proc == proc {
+			s.touchEdge(eid)
+			s.edges[eid] = nil
+			return true
+		}
+	}
+	dupStart := s.procFinish[proc]
+	dupFinish := dupStart + s.g.Task(e.From).Cost/s.net.Node(proc).Speed
+	estArrival := base + e.Cost/s.mls
+	if dupFinish >= estArrival {
+		return false
+	}
+	s.touchDup()
+	s.dups = append(s.dups, TaskPlacement{Task: e.From, Proc: proc, Start: dupStart, Finish: dupFinish})
+	s.touchProc(proc)
+	s.procFinish[proc] = dupFinish
+	s.touchEdge(eid)
+	s.edges[eid] = nil
+	return true
+}
+
+// orderedPreds returns the incoming edge IDs of tid in the configured
+// scheduling order.
+func (s *state) orderedPreds(tid dag.TaskID) []dag.EdgeID {
+	in := s.g.Pred(tid)
+	out := append([]dag.EdgeID(nil), in...)
+	switch s.opts.EdgeOrder {
+	case EdgeOrderFIFO:
+		// keep insertion order
+	case EdgeOrderDescCost:
+		sort.SliceStable(out, func(i, j int) bool {
+			return s.g.Edge(out[i]).Cost > s.g.Edge(out[j]).Cost
+		})
+	case EdgeOrderAscCost:
+		sort.SliceStable(out, func(i, j int) bool {
+			return s.g.Edge(out[i]).Cost < s.g.Edge(out[j]).Cost
+		})
+	}
+	return out
+}
+
+// scheduleEdge routes and places edge eid towards destination processor
+// dstProc, returning the data arrival time there. base is the earliest
+// time the communication may enter the network (the task's ready time
+// under the paper's model, or the source finish for eager starts).
+func (s *state) scheduleEdge(eid dag.EdgeID, dstProc network.NodeID, base float64) (float64, error) {
+	e := s.g.Edge(eid)
+	src := s.tasks[e.From]
+	if src.Proc < 0 {
+		return 0, fmt.Errorf("sched: edge %d scheduled before its source task %d", eid, e.From)
+	}
+	if src.Proc == dstProc {
+		// Intra-processor communication is free; ensure no stale
+		// schedule lingers from a previous tentative placement.
+		s.touchEdge(eid)
+		s.edges[eid] = nil
+		return src.Finish, nil
+	}
+	route, err := s.findRoute(e, src.Proc, dstProc, base)
+	if err != nil {
+		return 0, err
+	}
+	es := &EdgeSchedule{
+		Edge:       eid,
+		SrcProc:    src.Proc,
+		DstProc:    dstProc,
+		Route:      route,
+		Placements: make([]EdgePlacement, len(route)),
+		Base:       base,
+	}
+	switch s.opts.Engine {
+	case EngineSlots:
+		s.placeEdgeSlots(es, e, base)
+	case EngineBandwidth:
+		s.placeEdgeBandwidth(es, e, base)
+	case EnginePackets:
+		s.placeEdgePackets(es, e, base)
+	}
+	es.Arrival = base
+	if n := len(es.Placements); n > 0 {
+		es.Arrival = es.Placements[n-1].Finish
+	}
+	s.touchEdge(eid)
+	s.edges[eid] = es
+	return es.Arrival, nil
+}
+
+// findRoute picks the route per the configured policy.
+func (s *state) findRoute(e dag.Edge, src, dst network.NodeID, base float64) (network.Route, error) {
+	switch s.opts.Routing {
+	case RoutingBFS:
+		return s.net.BFSRoute(src, dst)
+	case RoutingDijkstra:
+		init := network.Label{Start: base, Finish: base}
+		route, _, err := s.net.DijkstraRoute(src, dst, init, s.relaxFunc(e))
+		return route, err
+	default:
+		return nil, fmt.Errorf("sched: unknown routing %v", s.opts.Routing)
+	}
+}
+
+// relaxFunc returns the modified-Dijkstra relaxation for edge e: the
+// label after a link is the (start, finish) the edge would get on that
+// link by basic insertion (slots engine) or by a greedy bandwidth
+// estimate (bandwidth engine).
+func (s *state) relaxFunc(e dag.Edge) network.RelaxFunc {
+	switch s.opts.Engine {
+	case EngineBandwidth:
+		return func(l network.Link, cur network.Label) network.Label {
+			es := cur.Start
+			if s.opts.Switching == StoreAndForward {
+				es = cur.Finish
+			}
+			if cur.Hops > 0 {
+				es += s.opts.HopDelay
+			}
+			start, finish := s.bw[l.ID].EstimateFinish(es, e.Cost, l.Speed)
+			if finish < cur.Finish {
+				finish = cur.Finish
+			}
+			return network.Label{Start: start, Finish: finish}
+		}
+	default:
+		return func(l network.Link, cur network.Label) network.Label {
+			req := linksched.Request{ES: cur.Start, PF: cur.Finish, Dur: e.Cost / l.Speed}
+			if s.opts.Switching == StoreAndForward {
+				req.ES = cur.Finish
+			}
+			if cur.Hops > 0 {
+				req.ES += s.opts.HopDelay
+				req.PF += s.opts.HopDelay
+			}
+			start, finish := s.tl[l.ID].ProbeBasic(req)
+			return network.Label{Start: start, Finish: finish}
+		}
+	}
+}
+
+// placeEdgeSlots walks the route placing one exclusive slot per link,
+// propagating the link causality lower bounds.
+func (s *state) placeEdgeSlots(es *EdgeSchedule, e dag.Edge, base float64) {
+	prevStart, prevFinish := base, base
+	for leg, lid := range es.Route {
+		link := s.net.Link(lid)
+		req := linksched.Request{ES: prevStart, PF: prevFinish, Dur: e.Cost / link.Speed}
+		if s.opts.Switching == StoreAndForward {
+			req.ES = prevFinish
+		}
+		if leg > 0 {
+			req.ES += s.opts.HopDelay
+			req.PF += s.opts.HopDelay
+		}
+		owner := linksched.Owner{Edge: int(es.Edge), Leg: leg}
+		s.touchTimeline(lid)
+		var start, finish float64
+		if s.opts.Insertion == InsertionOptimal {
+			var moved []linksched.Shifted
+			start, finish, moved = s.tl[lid].InsertOptimal(owner, req, s.slackFunc())
+			for _, m := range moved {
+				s.applyShift(m)
+			}
+		} else {
+			start, finish = s.tl[lid].InsertBasic(owner, req)
+		}
+		es.Placements[leg] = EdgePlacement{Link: lid, Start: start, Finish: finish}
+		prevStart, prevFinish = start, finish
+	}
+}
+
+// slackFunc computes the deferrable time (Lemma 2) of an already
+// scheduled slot: bounded by the owner edge's placement on its next
+// route link, zero on its last link.
+func (s *state) slackFunc() linksched.SlackFunc {
+	return func(o linksched.Owner) float64 {
+		esch := s.edges[o.Edge]
+		if esch == nil || o.Leg >= len(esch.Placements)-1 {
+			return 0
+		}
+		cur := esch.Placements[o.Leg]
+		next := esch.Placements[o.Leg+1]
+		var dt float64
+		if s.opts.Switching == StoreAndForward {
+			// Next link starts only after this one finishes.
+			dt = next.Start - cur.Finish - s.opts.HopDelay
+		} else {
+			dt = next.Start - cur.Start - s.opts.HopDelay
+			if v := next.Finish - cur.Finish - s.opts.HopDelay; v < dt {
+				dt = v
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		return dt
+	}
+}
+
+// applyShift updates the placement record of a slot deferred by
+// optimal insertion.
+func (s *state) applyShift(m linksched.Shifted) {
+	eid := dag.EdgeID(m.Owner.Edge)
+	s.touchEdge(eid)
+	esch := s.edges[eid]
+	if esch == nil {
+		return
+	}
+	// The edge schedule may be shared with a journal snapshot; clone
+	// before mutating so rollback restores the original values.
+	esch = s.cowEdge(eid)
+	esch.Placements[m.Owner.Leg].Start = m.Start
+	esch.Placements[m.Owner.Leg].Finish = m.End
+}
+
+// placeEdgePackets divides the edge's volume into packets and
+// schedules each packet as an exclusive slot on every route link.
+// Packet p may enter link m+1 only after it fully left link m (packet
+// store-and-forward) and after packet p-1 entered that link (in-order
+// delivery); packets of one message therefore pipeline across the
+// route. PacketOverhead extends each packet's occupation, modelled as
+// a bandwidth-efficiency loss so the verifier's volume accounting
+// stays exact.
+func (s *state) placeEdgePackets(es *EdgeSchedule, e dag.Edge, base float64) {
+	size := s.opts.PacketSize
+	if size <= 0 {
+		size = 100
+	}
+	nPkts := int(math.Ceil(e.Cost / size))
+	if nPkts < 1 {
+		nPkts = 1
+	}
+	// prevFinish[p] is packet p's finish on the previous link.
+	prevFinish := make([]float64, nPkts)
+	for p := range prevFinish {
+		prevFinish[p] = base
+	}
+	for leg, lid := range es.Route {
+		link := s.net.Link(lid)
+		s.touchTimeline(lid)
+		var legStart, legFinish float64
+		lastOnLink := 0.0 // finish of packet p-1 on this link
+		for p := 0; p < nPkts; p++ {
+			vol := size
+			if p == nPkts-1 {
+				vol = e.Cost - size*float64(nPkts-1)
+			}
+			dur := vol/link.Speed + s.opts.PacketOverhead
+			lb := prevFinish[p]
+			if leg > 0 {
+				lb += s.opts.HopDelay
+			}
+			if lastOnLink > lb {
+				lb = lastOnLink
+			}
+			owner := linksched.Owner{Edge: int(es.Edge), Leg: leg}
+			start, finish := s.tl[lid].InsertBasic(owner, linksched.Request{ES: lb, PF: lb, Dur: dur})
+			if p == 0 {
+				legStart = start
+			}
+			legFinish = finish
+			lastOnLink = finish
+			prevFinish[p] = finish
+			rate := 1.0
+			if dur > 0 {
+				rate = vol / (link.Speed * dur) // < 1 with overhead
+			}
+			es.Placements[leg].Chunks = append(es.Placements[leg].Chunks, linksched.Chunk{
+				Start: start, End: finish, Rate: rate, Volume: vol,
+			})
+		}
+		es.Placements[leg].Link = lid
+		es.Placements[leg].Start = legStart
+		es.Placements[leg].Finish = legFinish
+	}
+}
+
+// placeEdgeBandwidth transfers the edge's volume over the route using
+// fractional bandwidth per BBSA.
+func (s *state) placeEdgeBandwidth(es *EdgeSchedule, e dag.Edge, base float64) {
+	var chunks []linksched.Chunk
+	prevSpeed := 0.0
+	for leg, lid := range es.Route {
+		link := s.net.Link(lid)
+		owner := linksched.Owner{Edge: int(es.Edge), Leg: leg}
+		s.touchBWTimeline(lid)
+		switch {
+		case leg == 0:
+			chunks = s.bw[lid].Alloc(owner, base, e.Cost, link.Speed, 0)
+		case s.opts.Switching == StoreAndForward:
+			// The whole message is buffered at the station; the next
+			// link transfers it afresh, unconstrained by arrival rate.
+			arrived := chunks[len(chunks)-1].End
+			chunks = s.bw[lid].Alloc(owner, arrived+s.opts.HopDelay, e.Cost, link.Speed, 0)
+		default:
+			chunks = s.bw[lid].Forward(owner, chunks, prevSpeed, link.Speed, s.opts.HopDelay)
+		}
+		start, finish := base, base
+		if len(chunks) > 0 {
+			start = chunks[0].Start
+			finish = chunks[len(chunks)-1].End
+		}
+		es.Placements[leg] = EdgePlacement{Link: lid, Start: start, Finish: finish, Chunks: chunks}
+		prevSpeed = link.Speed
+	}
+}

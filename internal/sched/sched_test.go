@@ -1,0 +1,695 @@
+package sched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+func algorithms() []sched.Algorithm {
+	return []sched.Algorithm{
+		sched.NewBA(),
+		sched.NewBASinnen(),
+		sched.NewOIHSA(),
+		sched.NewBBSA(),
+		sched.NewClassicReplay(),
+	}
+}
+
+func mustSchedule(t *testing.T, a sched.Algorithm, g *dag.Graph, net *network.Topology) *sched.Schedule {
+	t.Helper()
+	s, err := a.Schedule(g, net)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name(), err)
+	}
+	if res := verify.Verify(s); !res.OK() {
+		for i, v := range res.Violations {
+			if i >= 10 {
+				t.Errorf("... and %d more", len(res.Violations)-10)
+				break
+			}
+			t.Errorf("%s: %s", a.Name(), v)
+		}
+		t.FailNow()
+	}
+	return s
+}
+
+func TestSingleTask(t *testing.T) {
+	g := dag.New()
+	g.AddTask("only", 10)
+	net := network.Star(3, network.Uniform(2), network.Uniform(1))
+	for _, a := range algorithms() {
+		s := mustSchedule(t, a, g, net)
+		if math.Abs(s.Makespan-5) > 1e-9 { // 10 / speed 2
+			t.Errorf("%s: makespan=%v, want 5", a.Name(), s.Makespan)
+		}
+	}
+}
+
+func TestChainOnSingleProcessor(t *testing.T) {
+	// One processor: no communication, makespan = total work.
+	g := dag.Chain(5, 4, 100)
+	net := network.Star(1, network.Uniform(1), network.Uniform(1))
+	for _, a := range algorithms() {
+		s := mustSchedule(t, a, g, net)
+		if math.Abs(s.Makespan-20) > 1e-9 {
+			t.Errorf("%s: makespan=%v, want 20", a.Name(), s.Makespan)
+		}
+	}
+}
+
+func TestChainStaysLocalWhenCommDominates(t *testing.T) {
+	// Communication is so expensive that spreading the chain is never
+	// worthwhile; every algorithm should keep the whole chain local and
+	// hit exactly the serial makespan.
+	g := dag.Chain(6, 1, 1000)
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	for _, a := range algorithms() {
+		s := mustSchedule(t, a, g, net)
+		if math.Abs(s.Makespan-6) > 1e-9 {
+			t.Errorf("%s: makespan=%v, want 6", a.Name(), s.Makespan)
+		}
+	}
+}
+
+func TestForkJoinUsesParallelism(t *testing.T) {
+	// Cheap communication: a 2-wide fork-join on 2 processors should
+	// beat serial execution.
+	g := dag.ForkJoin(4, 100, 1)
+	net := network.FullyConnected(4, network.Uniform(1), network.Uniform(100))
+	serial := g.TotalTaskCost() // 600
+	for _, a := range algorithms() {
+		s := mustSchedule(t, a, g, net)
+		if s.Makespan >= serial {
+			t.Errorf("%s: makespan=%v did not beat serial %v", a.Name(), s.Makespan, serial)
+		}
+	}
+}
+
+func TestDiamondExactMakespanTwoProcs(t *testing.T) {
+	// Diamond a->{b,c}->d, task cost 10, edge cost 10, two processors
+	// joined by one duplex link of speed 1.
+	// Optimal: a,b,d on P0; c on P1. a:[0,10]; edge a->c:[10,20];
+	// b:[10,20] local; c:[20,30]; edge c->d:[30,40]; d:[40,50].
+	g := dag.Diamond(10, 10)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	for _, a := range algorithms() {
+		s := mustSchedule(t, a, g, net)
+		if s.Makespan < 40-1e-9 {
+			t.Errorf("%s: makespan=%v below feasible bound 40", a.Name(), s.Makespan)
+		}
+		if s.Makespan > 50+1e-9 {
+			t.Errorf("%s: makespan=%v worse than two-proc plan 50", a.Name(), s.Makespan)
+		}
+	}
+}
+
+func TestContentionForcesSerializedTransfers(t *testing.T) {
+	// Star with one hub: two edges from the same source processor must
+	// share the source's uplink; with exclusive slots they serialize.
+	g := dag.New()
+	src := g.AddTask("src", 1)
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.AddEdge(src, a, 50)
+	g.AddEdge(src, b, 50)
+	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+	s := mustSchedule(t, sched.NewBA(), g, net)
+	// If a and b land on distinct non-source processors, both transfers
+	// cross the source uplink: second arrival ≥ 1 + 50 + 50 = 101.
+	pa, pb := s.ProcOf(1), s.ProcOf(2)
+	ps := s.ProcOf(0)
+	if pa != ps && pb != ps && pa != pb {
+		arr1, arr2 := s.ArrivalOf(0), s.ArrivalOf(1)
+		later := math.Max(arr1, arr2)
+		if later < 101-1e-9 {
+			t.Errorf("BA: second arrival %v ignores uplink contention", later)
+		}
+	}
+}
+
+func TestBBSASharesBandwidthOnUplink(t *testing.T) {
+	// Same scenario: BBSA may overlap the two transfers at half rate
+	// each; both arrive by 1 + 100 = 101 but can also interleave.
+	g := dag.New()
+	src := g.AddTask("src", 1)
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.AddEdge(src, a, 50)
+	g.AddEdge(src, b, 50)
+	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+	s := mustSchedule(t, sched.NewBBSA(), g, net)
+	if s.Makespan <= 0 {
+		t.Fatalf("BBSA produced empty makespan")
+	}
+}
+
+func TestOIHSANotWorseThanBAOnAverage(t *testing.T) {
+	// The paper's headline claim, checked in expectation over random
+	// instances: OIHSA and BBSA average makespan ≤ BA's.
+	r := rand.New(rand.NewSource(11))
+	var sumBA, sumOI, sumBB float64
+	for trial := 0; trial < 12; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    60,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+		})
+		g.ScaleToCCR(2.0)
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 8,
+			ProcSpeed:  network.Uniform(1),
+			LinkSpeed:  network.Uniform(1),
+		})
+		sumBA += mustSchedule(t, sched.NewBA(), g, net).Makespan
+		sumOI += mustSchedule(t, sched.NewOIHSA(), g, net).Makespan
+		sumBB += mustSchedule(t, sched.NewBBSA(), g, net).Makespan
+	}
+	if sumOI > sumBA*1.02 {
+		t.Errorf("OIHSA mean makespan %.1f worse than BA %.1f", sumOI, sumBA)
+	}
+	if sumBB > sumBA*1.02 {
+		t.Errorf("BBSA mean makespan %.1f worse than BA %.1f", sumBB, sumBB)
+	}
+}
+
+func TestAllAlgorithmsOnAllTopologies(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    40,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 50},
+	})
+	topos := map[string]*network.Topology{
+		"fully":     network.FullyConnected(4, network.Uniform(1), network.Uniform(1)),
+		"ring":      network.Ring(5, network.Uniform(1), network.Uniform(1)),
+		"line":      network.Line(4, network.Uniform(1), network.Uniform(1)),
+		"star":      network.Star(6, network.Uniform(1), network.Uniform(1)),
+		"mesh":      network.Mesh2D(2, 3, network.Uniform(1), network.Uniform(1)),
+		"torus":     network.Torus2D(3, 3, network.Uniform(1), network.Uniform(1)),
+		"hypercube": network.Hypercube(3, network.Uniform(1), network.Uniform(1)),
+		"fattree":   network.FatTree(3, 2, network.Uniform(1), network.Uniform(1)),
+		"bus":       network.Bus(4, network.Uniform(1), 1),
+		"cluster": network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 12, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)}),
+		"hetero": network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 12,
+			ProcSpeed:  network.UniformRange(r, 1, 10),
+			LinkSpeed:  network.UniformRange(r, 1, 10)}),
+		"torus3d":   network.Torus3D(2, 2, 2, network.Uniform(1), network.Uniform(1)),
+		"tree":      network.SwitchTree(2, 2, 2, network.Uniform(1), network.Uniform(1)),
+		"dumbbell":  network.Dumbbell(3, 3, network.Uniform(1), network.Uniform(2), 0.5),
+		"dragonfly": network.Dragonfly(3, 3, network.Uniform(1), network.Uniform(4), network.Uniform(1)),
+		"butterfly": network.ButterflyNet(2, network.Uniform(1), network.Uniform(1)),
+	}
+	for name, net := range topos {
+		for _, a := range algorithms() {
+			s := mustSchedule(t, a, g, net)
+			if s.Makespan <= 0 {
+				t.Errorf("%s on %s: non-positive makespan %v", a.Name(), name, s.Makespan)
+			}
+		}
+	}
+}
+
+func TestSchedulePropertyRandomInstances(t *testing.T) {
+	// Broad randomized soak: every produced schedule must verify.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    10 + r.Intn(80),
+			TaskCost: dag.CostDist{Lo: 1, Hi: 1000},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 1000},
+			FanOut:   1 + r.Intn(5),
+		})
+		g.ScaleToCCR(0.1 + r.Float64()*9.9)
+		procs := 2 + r.Intn(15)
+		var net *network.Topology
+		switch trial % 3 {
+		case 0:
+			net = network.RandomCluster(r, network.RandomClusterParams{
+				Processors: procs,
+				ProcSpeed:  network.UniformRange(r, 1, 10),
+				LinkSpeed:  network.UniformRange(r, 1, 10),
+			})
+		case 1:
+			net = network.Ring(procs, network.Uniform(1), network.UniformRange(r, 1, 10))
+		default:
+			net = network.Star(procs, network.UniformRange(r, 1, 10), network.Uniform(1))
+		}
+		for _, a := range algorithms() {
+			mustSchedule(t, a, g, net)
+		}
+	}
+}
+
+func TestClassicIdealIsOptimistic(t *testing.T) {
+	// The ideal model must never predict a longer makespan than the
+	// replay of its own assignment on the real network.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    50,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 500},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 8, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+		ideal, err := sched.NewClassic().Schedule(g, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := verify.Verify(ideal); !res.OK() {
+			t.Fatalf("ideal schedule invalid: %v", res.Err())
+		}
+		replay := mustSchedule(t, sched.NewClassicReplay(), g, net)
+		if ideal.Makespan > replay.Makespan+1e-6 {
+			t.Errorf("trial %d: ideal %v > replay %v — replay should never beat the optimistic model",
+				trial, ideal.Makespan, replay.Makespan)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    60,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
+	})
+	net := network.RandomCluster(r, network.RandomClusterParams{
+		Processors: 10, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+	for _, a := range algorithms() {
+		s1 := mustSchedule(t, a, g, net)
+		s2 := mustSchedule(t, a, g, net)
+		if s1.Makespan != s2.Makespan {
+			t.Errorf("%s: nondeterministic makespan %v vs %v", a.Name(), s1.Makespan, s2.Makespan)
+		}
+		for i := range s1.Tasks {
+			if s1.Tasks[i] != s2.Tasks[i] {
+				t.Errorf("%s: task %d placement differs across runs", a.Name(), i)
+				break
+			}
+		}
+	}
+}
+
+func TestCommStats(t *testing.T) {
+	g := dag.ForkJoin(3, 10, 10)
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	s := mustSchedule(t, sched.NewBA(), g, net)
+	cs := s.CommStats()
+	if cs.RoutedEdges+cs.LocalEdges != g.NumEdges() {
+		t.Errorf("stats do not cover all edges: %+v", cs)
+	}
+	if cs.RoutedEdges > 0 && cs.MeanHops < 1 {
+		t.Errorf("mean hops %v < 1 with routed edges", cs.MeanHops)
+	}
+}
+
+func TestOptionStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{sched.RoutingBFS.String(), "bfs"},
+		{sched.RoutingDijkstra.String(), "dijkstra"},
+		{sched.InsertionBasic.String(), "basic"},
+		{sched.InsertionOptimal.String(), "optimal"},
+		{sched.EdgeOrderFIFO.String(), "fifo"},
+		{sched.EdgeOrderDescCost.String(), "desc"},
+		{sched.EdgeOrderAscCost.String(), "asc"},
+		{sched.ProcSelectEFT.String(), "eft"},
+		{sched.ProcSelectEstimate.String(), "estimate"},
+		{sched.ProcSelectNoComm.String(), "nocomm"},
+		{sched.EngineSlots.String(), "slots"},
+		{sched.EngineBandwidth.String(), "bandwidth"},
+		{sched.EnginePackets.String(), "packets"},
+		{sched.CommAtReady.String(), "ready"},
+		{sched.CommAtSourceFinish.String(), "eager"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestHopDelaySchedulesVerifyAndSlowDown(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    40,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 300},
+	})
+	net := network.RandomCluster(r, network.RandomClusterParams{
+		Processors: 8, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+	for _, preset := range []sched.Options{
+		sched.NewOIHSA().Opts,
+		sched.NewBBSA().Opts,
+		sched.NewBA().Opts,
+	} {
+		prev := -1.0
+		for _, hd := range []float64{0, 5, 50} {
+			opts := preset
+			opts.HopDelay = hd
+			s := mustSchedule(t, sched.NewCustom("hd", opts), g, net)
+			if s.HopDelay != hd {
+				t.Fatalf("schedule lost hop delay: %v", s.HopDelay)
+			}
+			// Every consecutive leg must respect the delay exactly.
+			for _, es := range s.Edges {
+				if es == nil {
+					continue
+				}
+				for i := 1; i < len(es.Placements); i++ {
+					if es.Placements[i].Start < es.Placements[i-1].Start+hd-1e-6 {
+						t.Fatalf("hop delay %v violated on edge %d", hd, es.Edge)
+					}
+				}
+			}
+			if s.Makespan < prev-1e-6 {
+				// Not guaranteed in theory (placement decisions shift),
+				// but a large systematic inversion signals a bug.
+				if prev-s.Makespan > prev*0.2 {
+					t.Fatalf("makespan dropped sharply with larger hop delay: %v -> %v", prev, s.Makespan)
+				}
+			}
+			prev = s.Makespan
+		}
+	}
+}
+
+func TestStoreAndForwardVerifiesAndIsSlower(t *testing.T) {
+	// Store-and-forward serializes a message across its route, so for
+	// any multi-hop transfer its arrival can only be later than under
+	// cut-through on the same route; on average makespans must not
+	// improve.
+	r := rand.New(rand.NewSource(44))
+	var ctSum, sfSum float64
+	for trial := 0; trial < 6; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    50,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 400},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 10, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+		for _, engine := range []sched.Engine{sched.EngineSlots, sched.EngineBandwidth} {
+			ct := sched.NewOIHSA().Opts
+			ct.Engine = engine
+			if engine == sched.EngineBandwidth {
+				ct.Insertion = sched.InsertionBasic
+			}
+			sf := ct
+			sf.Switching = sched.StoreAndForward
+			sct := mustSchedule(t, sched.NewCustom("ct", ct), g, net)
+			ssf := mustSchedule(t, sched.NewCustom("sf", sf), g, net)
+			if ssf.Switching != sched.StoreAndForward {
+				t.Fatalf("schedule lost switching mode")
+			}
+			ctSum += sct.Makespan
+			sfSum += ssf.Makespan
+			// Check the per-edge serialization property directly.
+			for _, es := range ssf.Edges {
+				if es == nil {
+					continue
+				}
+				for i := 1; i < len(es.Placements); i++ {
+					if es.Placements[i].Start < es.Placements[i-1].Finish-1e-6 {
+						t.Fatalf("store-and-forward edge %d overlaps legs", es.Edge)
+					}
+				}
+			}
+		}
+	}
+	if sfSum < ctSum*0.98 {
+		t.Errorf("store-and-forward (%.0f) substantially beat cut-through (%.0f)", sfSum, ctSum)
+	}
+}
+
+func TestPacketEngineVerifiesAndPipelines(t *testing.T) {
+	// A single big transfer across a 3-processor line (2 hops): with
+	// circuit switching the arrival is ≈ base + c/s (cut-through), but
+	// with per-packet store-and-forward the arrival is
+	// base + c/s + pktSize/s: packetization costs one packet per extra
+	// hop. Under *store-and-forward circuit* switching the arrival
+	// would be base + 2c/s, so packets beat S&F circuits on multi-hop
+	// routes.
+	g := dag.Chain(2, 1, 1000)
+	net := network.Line(3, network.Uniform(1), network.Uniform(1))
+	// Put the two tasks at the ends by scheduling with a fixed
+	// assignment.
+	ps := net.Processors()
+	assign := []network.NodeID{ps[0], ps[2]}
+
+	run := func(opts sched.Options) *sched.Schedule {
+		s, err := sched.ScheduleAssignment(g, net, assign, opts, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := verify.Verify(s); !res.OK() {
+			t.Fatalf("invalid: %v", res.Err())
+		}
+		return s
+	}
+	circuit := run(sched.Options{Engine: sched.EngineSlots})
+	pkts := run(sched.Options{Engine: sched.EnginePackets, PacketSize: 100})
+	sf := run(sched.Options{Engine: sched.EngineSlots, Switching: sched.StoreAndForward})
+
+	// Task 0 finishes at 1; transfers start at 1.
+	wantCircuit := 1.0 + 1000 // cut-through: bottleneck link time
+	wantPkts := 1.0 + 1000 + 100
+	wantSF := 1.0 + 2000
+	if math.Abs(circuit.Makespan-(wantCircuit+1)) > 1e-6 {
+		t.Errorf("circuit makespan %v, want %v", circuit.Makespan, wantCircuit+1)
+	}
+	if math.Abs(pkts.Makespan-(wantPkts+1)) > 1e-6 {
+		t.Errorf("packet makespan %v, want %v", pkts.Makespan, wantPkts+1)
+	}
+	if math.Abs(sf.Makespan-(wantSF+1)) > 1e-6 {
+		t.Errorf("store-and-forward makespan %v, want %v", sf.Makespan, wantSF+1)
+	}
+}
+
+func TestPacketEngineRandomInstancesVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    40,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 500},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 8,
+			ProcSpeed:  network.UniformRange(r, 1, 10),
+			LinkSpeed:  network.UniformRange(r, 1, 10),
+		})
+		for _, cfg := range []struct {
+			size, ovh float64
+		}{{50, 0}, {200, 0}, {100, 3}} {
+			opts := sched.NewOIHSA().Opts
+			opts.Engine = sched.EnginePackets
+			opts.Insertion = sched.InsertionBasic
+			opts.PacketSize = cfg.size
+			opts.PacketOverhead = cfg.ovh
+			mustSchedule(t, sched.NewCustom("pkt", opts), g, net)
+		}
+	}
+}
+
+func TestPacketOverheadHurts(t *testing.T) {
+	// More overhead can only lengthen transfers on average.
+	r := rand.New(rand.NewSource(78))
+	var free, costly float64
+	for trial := 0; trial < 5; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    40,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 500},
+		})
+		net := network.Star(6, network.Uniform(1), network.Uniform(1))
+		for _, ovh := range []float64{0, 10} {
+			opts := sched.NewBA().Opts
+			opts.Engine = sched.EnginePackets
+			opts.PacketSize = 50
+			opts.PacketOverhead = ovh
+			s := mustSchedule(t, sched.NewCustom("pkt", opts), g, net)
+			if ovh == 0 {
+				free += s.Makespan
+			} else {
+				costly += s.Makespan
+			}
+		}
+	}
+	if costly < free-1e-6 {
+		t.Errorf("overhead reduced mean makespan: %v vs %v", costly, free)
+	}
+}
+
+func TestSwitchingString(t *testing.T) {
+	if sched.CutThrough.String() != "cut-through" || sched.StoreAndForward.String() != "store-and-forward" {
+		t.Fatal("switching strings")
+	}
+	if sched.TaskAppend.String() != "append" || sched.TaskInsertion.String() != "insertion" {
+		t.Fatal("task policy strings")
+	}
+}
+
+func TestDuplicationAvoidsExpensiveTransfer(t *testing.T) {
+	// A cheap source feeding two consumers with huge edges: with
+	// duplication, each consumer's processor re-runs the source and no
+	// data crosses the network.
+	g := dag.New()
+	src := g.AddTask("src", 2)
+	a := g.AddTask("a", 10)
+	b := g.AddTask("b", 10)
+	g.AddEdge(src, a, 500)
+	g.AddEdge(src, b, 500)
+	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+
+	plain := sched.NewOIHSA().Opts
+	dup := plain
+	dup.Duplication = true
+	sp := mustSchedule(t, sched.NewCustom("plain", plain), g, net)
+	sd := mustSchedule(t, sched.NewCustom("dup", dup), g, net)
+	if sd.Makespan >= sp.Makespan {
+		t.Fatalf("duplication did not help: %v vs %v", sd.Makespan, sp.Makespan)
+	}
+	if len(sd.Duplicates) == 0 {
+		t.Fatal("no duplicates recorded")
+	}
+	// With full duplication the makespan is just src + consumer work
+	// wherever they are colocated.
+	if sd.Makespan > 14+1e-9 {
+		t.Fatalf("duplication makespan %v, expected ≤ 14", sd.Makespan)
+	}
+}
+
+func TestDuplicationVerifiesOnRandomInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 6; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    50,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 500},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 8,
+			ProcSpeed:  network.UniformRange(r, 1, 10),
+			LinkSpeed:  network.UniformRange(r, 1, 10),
+		})
+		for _, preset := range []sched.Options{sched.NewBA().Opts, sched.NewOIHSA().Opts, sched.NewBBSA().Opts} {
+			opts := preset
+			opts.Duplication = true
+			mustSchedule(t, sched.NewCustom("dup", opts), g, net)
+		}
+	}
+}
+
+func TestDuplicationWithEFTRollsBack(t *testing.T) {
+	// EFT probes every processor tentatively; duplicates placed during
+	// rejected probes must vanish.
+	g := dag.New()
+	src := g.AddTask("src", 2)
+	a := g.AddTask("a", 10)
+	g.AddEdge(src, a, 500)
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	opts := sched.NewBASinnen().Opts
+	opts.Duplication = true
+	s := mustSchedule(t, sched.NewCustom("dup-eft", opts), g, net)
+	// At most one committed duplicate (for a's processor) may remain.
+	if len(s.Duplicates) > 1 {
+		t.Fatalf("stale duplicates from rolled-back probes: %+v", s.Duplicates)
+	}
+}
+
+func TestDuplicationRequiresAppendPolicy(t *testing.T) {
+	opts := sched.NewOIHSA().Opts
+	opts.Duplication = true
+	opts.TaskPolicy = sched.TaskInsertion
+	g := dag.Chain(2, 1, 1)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	if _, err := sched.NewCustom("bad", opts).Schedule(g, net); err == nil {
+		t.Fatal("duplication+insertion accepted")
+	}
+}
+
+func TestTaskInsertionVerifiesAndHelps(t *testing.T) {
+	// Insertion-based placement must produce valid schedules and, on
+	// average, not hurt (it strictly widens the choice per task, though
+	// greedy interactions can occasionally backfire).
+	r := rand.New(rand.NewSource(55))
+	var appSum, insSum float64
+	for trial := 0; trial < 8; trial++ {
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    60,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{
+			Processors: 8, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+		app := sched.NewOIHSA().Opts
+		ins := app
+		ins.TaskPolicy = sched.TaskInsertion
+		appSum += mustSchedule(t, sched.NewCustom("app", app), g, net).Makespan
+		insSum += mustSchedule(t, sched.NewCustom("ins", ins), g, net).Makespan
+	}
+	if insSum > appSum*1.05 {
+		t.Errorf("insertion policy (%.0f) notably worse than append (%.0f)", insSum, appSum)
+	}
+}
+
+func TestTaskInsertionFillsGap(t *testing.T) {
+	// One processor, a chain creating a gap, then an independent task
+	// that fits in the gap: insertion must use it, append must not.
+	g := dag.New()
+	a := g.AddTask("a", 10) // [0,10]
+	b := g.AddTask("b", 10) // needs a's data via the network → gap on P0
+	gap := g.AddTask("gap", 5)
+	_ = gap
+	g.AddEdge(a, b, 30)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	// Force with a custom scheduler that places everything on P0 except
+	// b on P1... simpler: single-processor machine has no gaps, so use
+	// the EFT policy on the 2-proc line and check validity of both.
+	for _, tp := range []sched.TaskPolicy{sched.TaskAppend, sched.TaskInsertion} {
+		opts := sched.NewBASinnen().Opts
+		opts.TaskPolicy = tp
+		mustSchedule(t, sched.NewCustom("tp", opts), g, net)
+	}
+}
+
+func TestCustomAblationCombos(t *testing.T) {
+	// Every knob combination must produce verifiable schedules.
+	r := rand.New(rand.NewSource(17))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    30,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 100},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 300},
+	})
+	net := network.RandomCluster(r, network.RandomClusterParams{
+		Processors: 6, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
+	for _, routing := range []sched.Routing{sched.RoutingBFS, sched.RoutingDijkstra} {
+		for _, ins := range []sched.Insertion{sched.InsertionBasic, sched.InsertionOptimal} {
+			for _, eo := range []sched.EdgeOrder{sched.EdgeOrderFIFO, sched.EdgeOrderDescCost, sched.EdgeOrderAscCost} {
+				for _, ps := range []sched.ProcSelect{sched.ProcSelectEFT, sched.ProcSelectEstimate, sched.ProcSelectNoComm} {
+					for _, en := range []sched.Engine{sched.EngineSlots, sched.EngineBandwidth, sched.EnginePackets} {
+						for _, cs := range []sched.CommStart{sched.CommAtReady, sched.CommAtSourceFinish} {
+							a := sched.NewCustom("combo", sched.Options{
+								Routing: routing, Insertion: ins, EdgeOrder: eo,
+								ProcSelect: ps, Engine: en, CommStart: cs,
+							})
+							mustSchedule(t, a, g, net)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"repro/internal/dag"
+	"repro/internal/linksched"
+	"repro/internal/network"
+)
+
+// txn journals every piece of scheduler state the current tentative
+// placement touches, so that BA's earliest-finish-time processor probe
+// can be rolled back cheaply: only the timelines, task/edge records and
+// processor clocks actually modified are saved (copy-on-write), not the
+// whole network.
+type txn struct {
+	taskOld  map[dag.TaskID]TaskPlacement
+	procOld  map[network.NodeID]float64
+	edgeOld  map[dag.EdgeID]*EdgeSchedule
+	tlSnaps  map[network.LinkID]linksched.Snapshot
+	bwSnaps  map[network.LinkID]linksched.BWSnapshot
+	ptlSnaps map[network.NodeID]linksched.Snapshot
+	// dupsLen is the duplicates count at transaction start; rollback
+	// truncates to it (duplicates are append-only).
+	dupsLen int
+}
+
+// begin opens a transaction. Transactions do not nest.
+func (s *state) begin() {
+	if s.tx != nil {
+		panic("sched: nested transaction")
+	}
+	s.tx = &txn{
+		taskOld:  map[dag.TaskID]TaskPlacement{},
+		procOld:  map[network.NodeID]float64{},
+		edgeOld:  map[dag.EdgeID]*EdgeSchedule{},
+		tlSnaps:  map[network.LinkID]linksched.Snapshot{},
+		bwSnaps:  map[network.LinkID]linksched.BWSnapshot{},
+		ptlSnaps: map[network.NodeID]linksched.Snapshot{},
+		dupsLen:  len(s.dups),
+	}
+}
+
+// rollback restores everything the transaction touched and closes it.
+func (s *state) rollback() {
+	tx := s.tx
+	if tx == nil {
+		return
+	}
+	for id, old := range tx.taskOld {
+		s.tasks[id] = old
+	}
+	for id, old := range tx.procOld {
+		s.procFinish[id] = old
+	}
+	for id, old := range tx.edgeOld {
+		s.edges[id] = old
+	}
+	for id, snap := range tx.tlSnaps {
+		s.tl[id].Restore(snap)
+	}
+	for id, snap := range tx.bwSnaps {
+		s.bw[id].Restore(snap)
+	}
+	for id, snap := range tx.ptlSnaps {
+		s.ptl[id].Restore(snap)
+	}
+	if len(s.dups) > tx.dupsLen {
+		s.dups = s.dups[:tx.dupsLen]
+	}
+	s.tx = nil
+}
+
+// touchTask journals a task placement before modification.
+func (s *state) touchTask(id dag.TaskID) {
+	if s.tx == nil {
+		return
+	}
+	if _, ok := s.tx.taskOld[id]; !ok {
+		s.tx.taskOld[id] = s.tasks[id]
+	}
+}
+
+// touchProc journals a processor clock before modification.
+func (s *state) touchProc(id network.NodeID) {
+	if s.tx == nil {
+		return
+	}
+	if _, ok := s.tx.procOld[id]; !ok {
+		s.tx.procOld[id] = s.procFinish[id]
+	}
+}
+
+// touchEdge journals an edge schedule pointer before replacement or
+// mutation.
+func (s *state) touchEdge(id dag.EdgeID) {
+	if s.tx == nil {
+		return
+	}
+	if _, ok := s.tx.edgeOld[id]; !ok {
+		s.tx.edgeOld[id] = s.edges[id]
+	}
+}
+
+// cowEdge returns an edge schedule safe to mutate in place: inside a
+// transaction, a schedule that predates the transaction is cloned
+// first so the journaled pointer keeps the original values.
+func (s *state) cowEdge(id dag.EdgeID) *EdgeSchedule {
+	cur := s.edges[id]
+	if s.tx == nil || cur == nil {
+		return cur
+	}
+	if old, ok := s.tx.edgeOld[id]; !ok || old != cur {
+		return cur // created or already cloned inside this transaction
+	}
+	cl := *cur
+	cl.Placements = append([]EdgePlacement(nil), cur.Placements...)
+	cl.Route = append(network.Route(nil), cur.Route...)
+	s.edges[id] = &cl
+	return &cl
+}
+
+// touchTimeline journals a slot timeline before modification.
+func (s *state) touchTimeline(id network.LinkID) {
+	if s.tx == nil {
+		return
+	}
+	if _, ok := s.tx.tlSnaps[id]; !ok {
+		s.tx.tlSnaps[id] = s.tl[id].Snapshot()
+	}
+}
+
+// touchDup is a no-op marker: duplicates are append-only and rolled
+// back by truncation to the length recorded at begin.
+func (s *state) touchDup() {}
+
+// touchProcTimeline journals a processor timeline (task insertion
+// policy) before modification.
+func (s *state) touchProcTimeline(id network.NodeID) {
+	if s.tx == nil {
+		return
+	}
+	if _, ok := s.tx.ptlSnaps[id]; !ok {
+		s.tx.ptlSnaps[id] = s.ptl[id].Snapshot()
+	}
+}
+
+// touchBWTimeline journals a bandwidth timeline before modification.
+func (s *state) touchBWTimeline(id network.LinkID) {
+	if s.tx == nil {
+		return
+	}
+	if _, ok := s.tx.bwSnaps[id]; !ok {
+		s.tx.bwSnaps[id] = s.bw[id].Snapshot()
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Event is one timestamped occurrence in a schedule's execution.
+type Event struct {
+	Time float64
+	Kind string // "task-start", "task-finish", "xfer-start", "xfer-finish"
+	Text string
+}
+
+// Events flattens a schedule into its chronological event sequence:
+// task starts/finishes on processors and transfer starts/arrivals on
+// the network. Ties are ordered finish-before-start, then by text, so
+// the narration is deterministic.
+func Events(s *sched.Schedule) []Event {
+	var evs []Event
+	for _, tp := range s.Tasks {
+		name := s.Graph.Task(tp.Task).Name
+		proc := s.Net.Node(tp.Proc).Name
+		evs = append(evs,
+			Event{Time: tp.Start, Kind: "task-start",
+				Text: fmt.Sprintf("task %s starts on %s", name, proc)},
+			Event{Time: tp.Finish, Kind: "task-finish",
+				Text: fmt.Sprintf("task %s finishes on %s", name, proc)},
+		)
+	}
+	for _, es := range s.Edges {
+		if es == nil || len(es.Placements) == 0 {
+			continue
+		}
+		e := s.Graph.Edge(es.Edge)
+		from := s.Graph.Task(e.From).Name
+		to := s.Graph.Task(e.To).Name
+		src := s.Net.Node(es.SrcProc).Name
+		dst := s.Net.Node(es.DstProc).Name
+		evs = append(evs,
+			Event{Time: es.Placements[0].Start, Kind: "xfer-start",
+				Text: fmt.Sprintf("transfer %s->%s leaves %s (%d links)", from, to, src, len(es.Route))},
+			Event{Time: es.Arrival, Kind: "xfer-finish",
+				Text: fmt.Sprintf("transfer %s->%s arrives at %s", from, to, dst)},
+		)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		fi := evs[i].Kind == "task-finish" || evs[i].Kind == "xfer-finish"
+		fj := evs[j].Kind == "task-finish" || evs[j].Kind == "xfer-finish"
+		if fi != fj {
+			return fi // finishes before starts at the same instant
+		}
+		return evs[i].Text < evs[j].Text
+	})
+	return evs
+}
+
+// WriteEventLog renders the chronological narration of a schedule,
+// one event per line. limit > 0 truncates the log to the first limit
+// events (with a trailing note).
+func WriteEventLog(w io.Writer, s *sched.Schedule, limit int) error {
+	evs := Events(s)
+	total := len(evs)
+	if limit > 0 && len(evs) > limit {
+		evs = evs[:limit]
+	}
+	for _, ev := range evs {
+		if _, err := fmt.Fprintf(w, "t=%12.3f  %-12s %s\n", ev.Time, ev.Kind, ev.Text); err != nil {
+			return err
+		}
+	}
+	if len(evs) < total {
+		if _, err := fmt.Fprintf(w, "... (%d more events)\n", total-len(evs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

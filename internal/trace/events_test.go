@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestEventsChronologicalAndComplete(t *testing.T) {
+	s := sampleSchedule(t, sched.NewOIHSA())
+	evs := Events(s)
+	// Two events per task plus two per routed edge.
+	routed := s.CommStats().RoutedEdges
+	want := 2*s.Graph.NumTasks() + 2*routed
+	if len(evs) != want {
+		t.Fatalf("%d events, want %d", len(evs), want)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time-1e-12 {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	starts, finishes := 0, 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case "task-start":
+			starts++
+		case "task-finish":
+			finishes++
+		}
+	}
+	if starts != s.Graph.NumTasks() || finishes != s.Graph.NumTasks() {
+		t.Fatalf("task events %d/%d", starts, finishes)
+	}
+}
+
+func TestWriteEventLog(t *testing.T) {
+	s := sampleSchedule(t, sched.NewBA())
+	var buf bytes.Buffer
+	if err := WriteEventLog(&buf, s, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "task-start") || !strings.Contains(out, "t=") {
+		t.Fatalf("log output %q", out)
+	}
+	// Truncation.
+	buf.Reset()
+	if err := WriteEventLog(&buf, s, 3); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 || !strings.Contains(lines[3], "more events") {
+		t.Fatalf("truncated log: %q", buf.String())
+	}
+}
+
+func TestEventsDeterministic(t *testing.T) {
+	s := sampleSchedule(t, sched.NewBBSA())
+	a := Events(s)
+	b := Events(s)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
