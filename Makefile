@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race lint check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiment ./internal/sched
+
+lint:
+	$(GO) run ./cmd/edgelint ./...
+
+# check mirrors the CI pipeline (.github/workflows/ci.yml).
+check: build vet test race lint

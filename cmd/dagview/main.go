@@ -99,12 +99,18 @@ func main() {
 		}
 		return
 	}
-	cp, _ := g.CriticalPathLength()
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%s graph: %v\n", *kind, g)
 	fmt.Printf("sources=%d sinks=%d\n", len(g.Sources()), len(g.Sinks()))
 	fmt.Printf("total computation=%.4g total communication=%.4g\n", g.TotalTaskCost(), g.TotalEdgeCost())
 	fmt.Printf("critical path (incl. communication)=%.4g\n", cp)
-	order, _ := g.PriorityOrder()
+	order, err := g.PriorityOrder()
+	if err != nil {
+		fatal(err)
+	}
 	n := len(order)
 	if n > 10 {
 		n = 10

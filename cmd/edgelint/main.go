@@ -1,0 +1,117 @@
+// Command edgelint is the repository's domain-specific static
+// analysis driver. It runs the repro/internal/lint analyzers — the
+// mechanical form of the invariants the paper reproduction depends on
+// — over the given go package patterns (default ./...):
+//
+//	floateq      bare float64 time/cost comparisons (use internal/fptime)
+//	seededrand   unseeded randomness and wall-clock time in libraries
+//	verifysched  test schedules that never pass through verify.Verify
+//	errflow      dropped errors from this module's exported APIs
+//
+// Usage:
+//
+//	go run ./cmd/edgelint [-list] [-only name,name] [patterns...]
+//
+// Diagnostics print as file:line:col: message (analyzer). A finding on
+// a given line can be suppressed, with justification, by
+//
+//	// edgelint:ignore <analyzer> — <reason>
+//
+// on the offending line or the line above. Exits 1 if any diagnostic
+// is reported, 2 on driver errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/errflow"
+	"repro/internal/lint/floateq"
+	"repro/internal/lint/seededrand"
+	"repro/internal/lint/verifysched"
+)
+
+// all is the suite, alphabetically.
+var all = []*lint.Analyzer{
+	errflow.Analyzer,
+	floateq.Analyzer,
+	seededrand.Analyzer,
+	verifysched.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgelint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := runLint(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgelint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "edgelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the registry.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// runLint loads the packages (with test files, like go vet) and applies
+// the analyzers to every unit.
+func runLint(dir string, patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	units, err := lint.LoadPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []lint.Diagnostic
+	for _, u := range units {
+		ds, err := u.Run(analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", u.Path, err)
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// TestRepoIsClean runs the whole suite over the repository itself: the
+// tree must stay free of findings (modulo justified edgelint:ignore
+// directives), the same gate CI enforces with `go run ./cmd/edgelint`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	diags, err := runLint("../..", []string{"./..."}, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Error(d.String())
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	picked, err := selectAnalyzers("floateq,errflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 || picked[0].Name != "floateq" || picked[1].Name != "errflow" {
+		t.Fatalf("picked %v", picked)
+	}
+	if _, err := selectAnalyzers("nonsense"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+	every, err := selectAnalyzers("")
+	if err != nil || len(every) != len(all) {
+		t.Fatalf("empty -only must select the full suite, got %d, %v", len(every), err)
+	}
+}

@@ -64,6 +64,9 @@ func TestFacadeExports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := edgesched.Verify(s); err != nil {
+		t.Fatal(err)
+	}
 	buf.Reset()
 	if err := edgesched.WriteGantt(&buf, s, 50, true); err != nil {
 		t.Fatal(err)

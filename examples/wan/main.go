@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,9 +14,15 @@ import (
 )
 
 func main() {
+	// The fixed default keeps the printed table reproducible run to
+	// run; any other seed gives a different (but internally
+	// consistent) WAN and graph population.
+	seed := flag.Int64("seed", 2006, "seed for the network and the per-cell task graphs")
+	flag.Parse()
+
 	// Build one fixed WAN: ~48 processors across switches with U(4,16)
 	// processors each, random trunks between switches.
-	r := rand.New(rand.NewSource(2006))
+	r := rand.New(rand.NewSource(*seed))
 	net := edgesched.RandomCluster(r, edgesched.ClusterParams{
 		Processors: 48,
 		ProcSpeed:  edgesched.Uniform(1),
@@ -33,7 +40,7 @@ func main() {
 		var mBA, mOI, mBB float64
 		const reps = 3
 		for rep := 0; rep < reps; rep++ {
-			gr := rand.New(rand.NewSource(int64(100*ccr) + int64(rep)))
+			gr := rand.New(rand.NewSource(*seed + int64(100*ccr) + int64(rep)))
 			g := edgesched.RandomLayered(gr, edgesched.LayeredParams{
 				Tasks:    200,
 				TaskCost: edgesched.CostDist{Lo: 1, Hi: 1000},

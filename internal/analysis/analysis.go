@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/fptime"
 	"repro/internal/network"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -257,6 +258,7 @@ func analyzeContention(s *sched.Schedule, r *Report) {
 	}
 	r.ContentionDelay = stats.Summarize(delays)
 	sort.Slice(r.WorstDelays, func(i, j int) bool {
+		// edgelint:ignore floateq — exact sort tiebreak for a stable order.
 		if r.WorstDelays[i].Delay != r.WorstDelays[j].Delay {
 			return r.WorstDelays[i].Delay > r.WorstDelays[j].Delay
 		}
@@ -322,7 +324,7 @@ func analyzeCriticalChain(s *sched.Schedule, r *Report) {
 		}
 		const tol = 1e-6
 		switch {
-		case hasPrev && prevFinish >= bestArr && prevFinish >= tp.Start-tol:
+		case hasPrev && fptime.Geq(prevFinish, bestArr) && fptime.Geq(prevFinish, tp.Start):
 			// Processor was the binding constraint; continue through
 			// the blocking task. Everything between data readiness and
 			// start is processor wait.
@@ -333,7 +335,7 @@ func analyzeCriticalChain(s *sched.Schedule, r *Report) {
 				})
 			}
 			cur = prev
-		case bestEdge >= 0 && bestArr >= tp.Start-tol:
+		case bestEdge >= 0 && fptime.Geq(bestArr, tp.Start):
 			// Data arrival was binding.
 			es := s.Edges[bestEdge]
 			e := s.Graph.Edge(bestEdge)
@@ -352,7 +354,7 @@ func analyzeCriticalChain(s *sched.Schedule, r *Report) {
 						latest = s.Graph.Edge(eid).From
 					}
 				}
-				if s.Tasks[latest].Finish >= es.Base-tol && s.Tasks[latest].Finish <= es.Base+tol {
+				if fptime.Close(s.Tasks[latest].Finish, es.Base) {
 					next = latest
 				}
 			}

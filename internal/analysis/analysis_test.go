@@ -10,6 +10,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/network"
 	"repro/internal/sched"
+	"repro/internal/verify"
 )
 
 func schedule(t *testing.T, algo sched.Algorithm, g *dag.Graph, net *network.Topology) *sched.Schedule {
@@ -17,6 +18,9 @@ func schedule(t *testing.T, algo sched.Algorithm, g *dag.Graph, net *network.Top
 	s, err := algo.Schedule(g, net)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res := verify.Verify(s); !res.OK() {
+		t.Fatalf("%s produced an invalid schedule: %v", algo.Name(), res.Err())
 	}
 	return s
 }
@@ -184,10 +188,7 @@ func TestContentionDelayZeroOnPrivateLink(t *testing.T) {
 func TestAnalyzeIdealSchedule(t *testing.T) {
 	g := dag.Diamond(10, 10)
 	net := network.Star(3, network.Uniform(1), network.Uniform(1))
-	s, err := sched.NewClassic().Schedule(g, net)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := schedule(t, sched.NewClassic(), g, net)
 	rep := Analyze(s)
 	if rep.Speedup <= 0 {
 		t.Fatal("no speedup computed for ideal schedule")

@@ -8,6 +8,7 @@ package dag
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -152,13 +153,13 @@ var ErrCycle = errors.New("dag: graph contains a cycle")
 // data transfer between two tasks.
 func (g *Graph) Validate() error {
 	for _, t := range g.tasks {
-		if t.Cost < 0 || t.Cost != t.Cost || t.Cost > 1e300 {
+		if t.Cost < 0 || math.IsNaN(t.Cost) || t.Cost > 1e300 {
 			return fmt.Errorf("dag: task %d (%s) has invalid cost %v", t.ID, t.Name, t.Cost)
 		}
 	}
 	seen := make(map[[2]TaskID]bool, len(g.edges))
 	for _, e := range g.edges {
-		if e.Cost < 0 || e.Cost != e.Cost || e.Cost > 1e300 {
+		if e.Cost < 0 || math.IsNaN(e.Cost) || e.Cost > 1e300 {
 			return fmt.Errorf("dag: edge %d (%d->%d) has invalid cost %v", e.ID, e.From, e.To, e.Cost)
 		}
 		k := [2]TaskID{e.From, e.To}

@@ -120,7 +120,10 @@ func TestBottomLevelsChain(t *testing.T) {
 			t.Errorf("bl[%d]=%v, want %v", i, bl[i], w)
 		}
 	}
-	cp, _ := g.CriticalPathLength()
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cp != 40 {
 		t.Errorf("critical path %v, want 40", cp)
 	}
@@ -159,7 +162,10 @@ func TestPriorityOrderIsTopological(t *testing.T) {
 		for i, id := range order {
 			pos[id] = i
 		}
-		bl, _ := g.BottomLevels()
+		bl, err := g.BottomLevels()
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, e := range g.Edges() {
 			if pos[e.From] >= pos[e.To] {
 				t.Fatalf("trial %d: priority order not topological on edge %d->%d", trial, e.From, e.To)
@@ -334,7 +340,10 @@ func TestGaussianEliminationShape(t *testing.T) {
 	// The elimination ends with upd over column n-1 at step n-2; other
 	// columns' last updates also have no successors. Just require ≥1
 	// sink and a critical path of at least n-1 pivots.
-	cp, _ := g.CriticalPathLength()
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cp < float64(n-1) {
 		t.Errorf("critical path %v too short", cp)
 	}

@@ -37,7 +37,10 @@ func TestEpigenomicsShape(t *testing.T) {
 		t.Fatalf("sources/sinks %d/%d", len(g.Sources()), len(g.Sinks()))
 	}
 	// Critical path: split + depth stages + merge, with edges.
-	cp, _ := g.CriticalPathLength()
+	cp, err := g.CriticalPathLength()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 6*10.0 + 5*20.0 // 6 tasks, 5 edges on the longest path
 	if cp != want {
 		t.Fatalf("critical path %v, want %v", cp, want)

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -223,5 +224,40 @@ func TestFamilies(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "fft") {
 		t.Error("family table incomplete")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the regression test for
+// the runner's determinism contract: instance seeds depend only on
+// (Seed, procs, ccr, rep) and results are indexed by job order, so a
+// serial run and a maximally parallel run must produce identical
+// sweeps. Run under -race in CI, this also shakes out data races in
+// the worker pool.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, run := range []struct {
+		name  string
+		sweep func(Config) (*Sweep, error)
+	}{
+		{"ccr", CCRSweep},
+		{"proc", ProcSweep},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			serialCfg := tiny()
+			serialCfg.Workers = 1
+			parallelCfg := tiny()
+			parallelCfg.Workers = 8
+
+			serial, err := run.sweep(serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := run.sweep(parallelCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("Workers=1 and Workers=8 disagree:\n%#v\n%#v", serial, parallel)
+			}
+		})
 	}
 }

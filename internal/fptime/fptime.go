@@ -1,0 +1,73 @@
+// Package fptime centralizes the floating-point time arithmetic of the
+// edge-scheduling model. All times, costs, bandwidth fractions and
+// speeds in this repository are float64; comparing them bare invites
+// off-by-epsilon bugs (a transfer that "finishes after" its
+// predecessor by 1e-13, a slot rejected from a gap it fits into up to
+// rounding noise). Every start/finish/arrival decision must go through
+// the helpers in this package; the floateq analyzer in internal/lint
+// mechanically enforces that convention.
+//
+// Two tolerance regimes coexist, matching the two kinds of decisions
+// the schedulers make:
+//
+//   - Interval arithmetic (Eps): the link timelines and the list
+//     scheduler compare candidate starts, gap fits and score
+//     improvements with a tiny absolute epsilon that only absorbs
+//     accumulated rounding noise. Use GeqEps/LeqEps/LessEps.
+//   - Verification (AbsTol/RelTol): the schedule verifier tolerates
+//     the slightly larger error produced by long chains of
+//     divisions/summations, scaled with the magnitude of the compared
+//     values. Use Geq/Leq/Close/CloseRel.
+package fptime
+
+import "math"
+
+const (
+	// Eps is the absolute tolerance of interval arithmetic on link and
+	// processor timelines (slot fitting, causality lower bounds, score
+	// comparisons).
+	Eps = 1e-9
+
+	// AbsTol and RelTol are the verification tolerances: a quantity is
+	// acceptable within AbsTol + RelTol*|reference| of its reference.
+	AbsTol = 1e-6
+	RelTol = 1e-9
+)
+
+// GeqEps reports a >= b under the interval-arithmetic tolerance.
+func GeqEps(a, b float64) bool { return a >= b-Eps }
+
+// LeqEps reports a <= b under the interval-arithmetic tolerance.
+func LeqEps(a, b float64) bool { return a <= b+Eps }
+
+// LessEps reports a < b by more than the interval-arithmetic
+// tolerance, i.e. a is strictly smaller beyond rounding noise.
+func LessEps(a, b float64) bool { return a < b-Eps }
+
+// Geq reports a >= b under the verification tolerance, which scales
+// with |b|.
+func Geq(a, b float64) bool { return a >= b-AbsTol-RelTol*math.Abs(b) }
+
+// Leq reports a <= b under the verification tolerance, which scales
+// with |b|.
+func Leq(a, b float64) bool { return a <= b+AbsTol+RelTol*math.Abs(b) }
+
+// Close reports |got-want| within the verification tolerance, scaled
+// with |want|.
+func Close(got, want float64) bool {
+	return math.Abs(got-want) <= AbsTol+RelTol*math.Abs(want)
+}
+
+// CloseRel reports |got-want| within AbsTol plus an explicit relative
+// tolerance of |want| — for accumulation-heavy quantities (chunk
+// volumes, bandwidth sums) that need a looser relative term than
+// RelTol.
+func CloseRel(got, want, rel float64) bool {
+	return math.Abs(got-want) <= AbsTol+rel*math.Abs(want)
+}
+
+// LeqRel reports a <= b within AbsTol plus an explicit relative
+// tolerance of |b| — the one-sided counterpart of CloseRel.
+func LeqRel(a, b, rel float64) bool {
+	return a <= b+AbsTol+rel*math.Abs(b)
+}

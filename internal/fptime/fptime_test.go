@@ -1,0 +1,60 @@
+package fptime
+
+import "testing"
+
+func TestEpsHelpers(t *testing.T) {
+	cases := []struct {
+		a, b           float64
+		geq, leq, less bool
+	}{
+		{1, 1, true, true, false},
+		{1 + 1e-12, 1, true, true, false},  // equal up to noise
+		{1 - 1e-12, 1, true, true, false},  // equal up to noise
+		{1, 2, false, true, true},          // clearly smaller
+		{2, 1, true, false, false},         // clearly larger
+		{1 - 0.5e-9, 1, true, true, false}, // within Eps
+		{1 - 2e-9, 1, false, true, true},   // beyond Eps
+		{0, 0, true, true, false},
+		{-1e-12, 0, true, true, false},
+	}
+	for _, c := range cases {
+		if got := GeqEps(c.a, c.b); got != c.geq {
+			t.Errorf("GeqEps(%v, %v) = %v, want %v", c.a, c.b, got, c.geq)
+		}
+		if got := LeqEps(c.a, c.b); got != c.leq {
+			t.Errorf("LeqEps(%v, %v) = %v, want %v", c.a, c.b, got, c.leq)
+		}
+		if got := LessEps(c.a, c.b); got != c.less {
+			t.Errorf("LessEps(%v, %v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestVerificationHelpers(t *testing.T) {
+	if !Geq(1-1e-7, 1) {
+		t.Error("Geq should absorb sub-AbsTol deficits")
+	}
+	if Geq(1-1e-5, 1) {
+		t.Error("Geq should reject deficits beyond AbsTol")
+	}
+	// The relative term matters at large magnitudes: 1e9 * RelTol = 1.
+	if !Geq(1e9-0.5, 1e9) {
+		t.Error("Geq should scale its tolerance with |b|")
+	}
+	if !Leq(1+1e-7, 1) || Leq(1+1e-5, 1) {
+		t.Error("Leq tolerance wrong")
+	}
+	if !Close(1+1e-7, 1) || Close(1+1e-5, 1) {
+		t.Error("Close tolerance wrong")
+	}
+	if !Close(1e9+0.5, 1e9) {
+		t.Error("Close should scale with |want|")
+	}
+	if !CloseRel(100+5e-5, 100, 1e-6) || CloseRel(100+2e-4, 100, 1e-6) {
+		t.Error("CloseRel tolerance wrong")
+	}
+	// Symmetry of the asymmetric reference: Geq(a,b) uses |b|.
+	if !Geq(0, 0) || !Leq(0, 0) || !Close(0, 0) {
+		t.Error("zero cases must hold")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/fptime"
 )
 
 // Chunk is one contiguous piece of a communication transferred on a
@@ -79,7 +81,7 @@ func (t *BWTimeline) split(x float64) {
 		return
 	}
 	s := &t.segs[i]
-	if s.start >= x-Eps || s.end <= x+Eps {
+	if fptime.GeqEps(s.start, x) || fptime.LeqEps(s.end, x) {
 		return // boundary already (approximately) present
 	}
 	left := seg{start: s.start, end: x, avail: s.avail, uses: append([]use(nil), s.uses...)}
@@ -101,8 +103,8 @@ func (t *BWTimeline) reserve(owner Owner, a, b, rate float64) {
 	// Walk from a to b covering idle gaps with fresh segments.
 	cur := a
 	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > a+Eps })
-	for cur < b-Eps {
-		if i < len(t.segs) && t.segs[i].start <= cur+Eps {
+	for fptime.LessEps(cur, b) {
+		if i < len(t.segs) && fptime.LeqEps(t.segs[i].start, cur) {
 			s := &t.segs[i]
 			end := s.end
 			if end > b {
@@ -175,6 +177,8 @@ func (t *BWTimeline) Alloc(owner Owner, es, volume, speed, cap float64) []Chunk 
 		if end > until {
 			end = until
 		}
+		// edgelint:ignore floateq — exact zero-progress guard; an epsilon
+		// here would abandon transfers that advance in sub-Eps steps.
 		if end <= cur {
 			// The residual volume's transfer time underflows the float
 			// resolution at this time scale; it is negligible (≤ 1e-9
@@ -231,6 +235,7 @@ func (t *BWTimeline) EstimateFinish(es, volume, speed float64) (start, finish fl
 		if end > until {
 			end = until
 		}
+		// edgelint:ignore floateq — exact zero-progress guard, see Alloc.
 		if end <= cur {
 			// Residual transfer time underflows the float resolution;
 			// the remaining volume is negligible at this time scale.
@@ -289,10 +294,10 @@ func (t *BWTimeline) Forward(owner Owner, in []Chunk, prevSpeed, speed, hopDelay
 func (t *BWTimeline) Validate() error {
 	prevEnd := math.Inf(-1)
 	for i, s := range t.segs {
-		if s.end < s.start-Eps {
+		if fptime.LessEps(s.end, s.start) {
 			return fmt.Errorf("linksched: bw segment %d inverted [%v, %v]", i, s.start, s.end)
 		}
-		if s.start < prevEnd-Eps {
+		if fptime.LessEps(s.start, prevEnd) {
 			return fmt.Errorf("linksched: bw segment %d overlaps previous", i)
 		}
 		sum := 0.0

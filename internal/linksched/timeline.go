@@ -11,10 +11,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/fptime"
 )
 
-// Eps is the tolerance used in interval comparisons.
-const Eps = 1e-9
+// Eps is the tolerance used in interval comparisons. It aliases the
+// shared fptime epsilon so every package compares times identically.
+const Eps = fptime.Eps
 
 // Owner identifies which communication occupies a slot: the DAG edge's
 // integer ID plus the leg (index of the link within the edge's route).
@@ -100,7 +103,7 @@ func (t *Timeline) ProbeBasic(req Request) (start, finish float64) {
 		if gapStart < lb {
 			gapStart = lb
 		}
-		if gapStart+req.Dur <= s.Start+Eps {
+		if fptime.LeqEps(gapStart+req.Dur, s.Start) {
 			return gapStart, gapStart + req.Dur
 		}
 		if s.End > prevEnd {
@@ -126,6 +129,7 @@ func (t *Timeline) InsertBasic(owner Owner, req Request) (start, finish float64)
 }
 
 func (t *Timeline) insertSorted(s Slot) {
+	// edgelint:ignore floateq — exact ordering comparison for sorted insert.
 	i := sort.Search(len(t.slots), func(i int) bool { return t.slots[i].Start >= s.Start })
 	t.slots = append(t.slots, Slot{})
 	copy(t.slots[i+1:], t.slots[i:])
@@ -191,10 +195,10 @@ func (t *Timeline) ProbeOptimal(req Request, slack SlackFunc) (start, finish flo
 		if i > 0 && t.slots[i-1].End > sigma {
 			sigma = t.slots[i-1].End
 		}
-		if sigma+req.Dur <= t.slots[i].Start+accum+Eps {
+		if fptime.LeqEps(sigma+req.Dur, t.slots[i].Start+accum) {
 			// Feasible. Scanning towards the head, later discoveries
 			// are earlier positions, so <= keeps the earliest start.
-			if sigma <= bestStart {
+			if fptime.LeqEps(sigma, bestStart) {
 				bestStart = sigma
 				bestPos = i
 			}
@@ -219,7 +223,7 @@ func (t *Timeline) InsertOptimal(owner Owner, req Request, slack SlackFunc) (sta
 	// slot's slack.
 	need := finish
 	for i := pos; i < len(t.slots); i++ {
-		if t.slots[i].Start >= need-Eps {
+		if fptime.GeqEps(t.slots[i].Start, need) {
 			break
 		}
 		delta := need - t.slots[i].Start
@@ -237,10 +241,10 @@ func (t *Timeline) InsertOptimal(owner Owner, req Request, slack SlackFunc) (sta
 func (t *Timeline) Validate() error {
 	prevEnd := 0.0
 	for i, s := range t.slots {
-		if s.Start < -Eps || s.End < s.Start-Eps {
+		if fptime.LessEps(s.Start, 0) || fptime.LessEps(s.End, s.Start) {
 			return fmt.Errorf("linksched: slot %d has invalid interval [%v, %v]", i, s.Start, s.End)
 		}
-		if s.Start < prevEnd-Eps {
+		if fptime.LessEps(s.Start, prevEnd) {
 			return fmt.Errorf("linksched: slot %d [%v, %v] overlaps previous end %v", i, s.Start, s.End, prevEnd)
 		}
 		if s.End > prevEnd {

@@ -1,0 +1,40 @@
+package a
+
+import (
+	"fmt"
+
+	"other"
+	"repro/internal/dag"
+)
+
+func f() {
+	g, err := dag.New(3)
+	if err != nil {
+		return
+	}
+
+	g.Validate()     // want "error returned by dag.Validate is dropped"
+	_ = g.Validate() // want "assigned to the blank identifier"
+
+	cp, _ := g.CriticalPathLength() // want "assigned to the blank identifier"
+	_ = cp
+
+	if err := g.Validate(); err != nil { // handled: fine
+		return
+	}
+	v, verr := g.CriticalPathLength() // captured: fine
+	if verr != nil {
+		return
+	}
+	_ = v
+
+	defer g.Validate() // want "error returned by dag.Validate is dropped"
+	go g.Validate()    // want "error returned by dag.Validate is dropped"
+
+	_ = g.Size()     // no error result: fine
+	other.Do()       // not this module: fine
+	fmt.Println("x") // stdlib: fine
+
+	// edgelint:ignore errflow — best-effort cleanup, failure is acceptable.
+	g.Validate()
+}

@@ -1,0 +1,6 @@
+// Package other stands in for a third-party dependency: its errors
+// are outside errflow's scope.
+package other
+
+// Do returns an error that errflow must not police.
+func Do() error { return nil }

@@ -1,0 +1,22 @@
+// Package dag is a stub of a module package with error-returning
+// exported APIs, for the errflow fixtures.
+package dag
+
+// Graph mirrors the real task-graph type's shape.
+type Graph struct{ n int }
+
+// New builds a graph or reports a malformed size.
+func New(n int) (*Graph, error) {
+	return &Graph{n: n}, nil
+}
+
+// Validate reports structural problems.
+func (g *Graph) Validate() error { return nil }
+
+// CriticalPathLength can fail on cyclic graphs.
+func (g *Graph) CriticalPathLength() (float64, error) {
+	return float64(g.n), nil
+}
+
+// Size never fails; calls to it are never flagged.
+func (g *Graph) Size() int { return g.n }

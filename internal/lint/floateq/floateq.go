@@ -1,0 +1,121 @@
+// Package floateq flags bare float64 equality and ordering
+// comparisons between time/cost/bandwidth expressions. Schedules are
+// built from long chains of float divisions and summations; comparing
+// two derived times with ==, !=, >= or <= is an off-by-epsilon bug
+// waiting to happen (a slot rejected from a gap it fits into up to
+// rounding noise, a causality check tripped by a 1e-13 deficit). All
+// such decisions must go through repro/internal/fptime's
+// tolerance-aware helpers.
+//
+// Heuristics that keep the analyzer focused on its domain:
+//
+//   - Only ==, !=, >= and <= are flagged. Strict < and > are how the
+//     tolerant helpers themselves are built, and are the conventional
+//     (exact) comparison in sort functions.
+//   - Comparisons against compile-time constants ("x <= 0",
+//     "rate > 1+Eps") are allowed: they are explicit thresholds, not
+//     derived-time comparisons.
+//   - At least one operand must mention scheduling-time vocabulary
+//     (start, finish, arrival, makespan, cost, bandwidth, ...).
+//   - Test files and the fptime package itself are exempt; exact
+//     assertions in tests are deliberate, and the helpers must compare
+//     bare floats to exist at all.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags bare float64 time/cost comparisons.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc:  "flags bare float64 ==/!=/>=/<= between time, cost or bandwidth expressions; use repro/internal/fptime helpers",
+	Run:  run,
+}
+
+// vocabulary are the identifier fragments that mark an expression as a
+// scheduling time, cost or bandwidth quantity (matched
+// case-insensitively against every identifier in the operand).
+var vocabulary = []string{
+	"start", "finish", "end", "arriv", "makespan", "ready", "slack",
+	"deadline", "cost", "bandwidth", "speed", "rate", "delay", "dur",
+	"time", "level", "drt", "span", "horizon",
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "fptime" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ, token.GEQ, token.LEQ:
+			default:
+				return true
+			}
+			tx := pass.TypesInfo.TypeOf(be.X)
+			ty := pass.TypesInfo.TypeOf(be.Y)
+			if tx == nil || ty == nil || !lint.IsFloat(tx) || !lint.IsFloat(ty) {
+				return true
+			}
+			if isConst(pass, be.X) || isConst(pass, be.Y) {
+				return true
+			}
+			if !mentionsTime(be.X) && !mentionsTime(be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "bare float64 %q comparison of time/cost values; use repro/internal/fptime (%s)", be.Op, suggestion(be.Op))
+			return true
+		})
+	}
+	return nil
+}
+
+func suggestion(op token.Token) string {
+	switch op {
+	case token.GEQ:
+		return "GeqEps or Geq"
+	case token.LEQ:
+		return "LeqEps or Leq"
+	default:
+		return "Close or CloseRel"
+	}
+}
+
+// isConst reports whether the expression is a compile-time constant.
+func isConst(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// mentionsTime reports whether any identifier within the expression
+// carries scheduling-time vocabulary.
+func mentionsTime(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		name := strings.ToLower(id.Name)
+		for _, v := range vocabulary {
+			if strings.Contains(name, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,26 @@
+package a
+
+type task struct {
+	Start, Finish float64
+	Cost          float64
+	Weight        int
+}
+
+func cmp(a, b task, x, y float64) {
+	_ = a.Start == b.Start  // want "bare float64"
+	_ = a.Finish >= b.Start // want "GeqEps or Geq"
+	_ = a.Cost <= b.Cost    // want "LeqEps or Leq"
+	_ = a.Start != b.Finish // want "Close or CloseRel"
+
+	end := a.Finish
+	_ = end >= x // want "GeqEps or Geq"
+
+	_ = a.Start < b.Start    // strict ordering is allowed
+	_ = a.Start >= 0         // constant threshold is allowed
+	_ = a.Finish <= 1.5      // constant threshold is allowed
+	_ = x == y               // no scheduling vocabulary
+	_ = a.Weight == b.Weight // ints are exact
+
+	// edgelint:ignore floateq — deliberate exact comparison for the test.
+	_ = a.Start == b.Start
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    []string
+	}{
+		{"// edgelint:ignore floateq — deliberate exact comparison", []string{"floateq"}},
+		{"// edgelint:ignore floateq, errflow -- both justified here", []string{"floateq", "errflow"}},
+		{"// edgelint:ignore all — generated file", []string{"all"}},
+		{"// plain comment", nil},
+		{"/* edgelint:ignore seededrand — block form */", []string{"seededrand"}},
+	}
+	for _, c := range cases {
+		if got := parseIgnore(c.comment); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.comment, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "floateq",
+		Message:  "bare comparison",
+	}
+	if got, want := d.String(), "x.go:3:7: bare comparison (floateq)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,92 @@
+// Package seededrand enforces the repository's reproducibility claim
+// (EXPERIMENTS.md: "All runs are seeded and reproducible"). It flags:
+//
+//   - calls to math/rand's (and math/rand/v2's) package-level
+//     functions, which draw from the process-wide source — every
+//     generator must be an explicit rand.New(rand.NewSource(seed));
+//   - rand.New / rand.NewSource seeded from time.Now(), the classic
+//     "unseeded" idiom that silently destroys reproducibility;
+//   - time.Now() anywhere outside package main — library and
+//     experiment code must not depend on wall-clock time (binaries may
+//     time themselves, but must derive all randomness from a -seed
+//     flag or a documented fixed seed).
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags unseeded or wall-clock-derived randomness.
+var Analyzer = &lint.Analyzer{
+	Name: "seededrand",
+	Doc:  "flags global math/rand functions, time-seeded rand.New, and time.Now in library packages",
+	Run:  run,
+}
+
+// constructors are the math/rand functions that build explicit
+// generators rather than using the global source.
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if constructors[fn.Name()] {
+					if tn := findTimeNow(pass.TypesInfo, call); tn != nil {
+						pass.Reportf(call.Pos(), "rand.%s seeded from time.Now() is not reproducible; derive the seed from a -seed flag or a documented constant", fn.Name())
+					}
+				} else {
+					pass.Reportf(call.Pos(), "global %s.%s draws from the process-wide source; use an explicit seeded generator (rand.New(rand.NewSource(seed)))", fn.Pkg().Name(), fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" && pass.Pkg.Name() != "main" {
+					pass.Reportf(call.Pos(), "time.Now() in library package %s breaks determinism; thread times through explicitly (EXPERIMENTS.md promises seeded, reproducible runs)", pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findTimeNow returns the first time.Now() call within the arguments
+// of call, or nil.
+func findTimeNow(info *types.Info, call *ast.CallExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := lint.CalleeFunc(info, c); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = c
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

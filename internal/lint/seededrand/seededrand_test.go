@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/seededrand"
+)
+
+func TestLibraryPackage(t *testing.T) {
+	linttest.Run(t, seededrand.Analyzer, "a")
+}
+
+func TestMainPackage(t *testing.T) {
+	linttest.Run(t, seededrand.Analyzer, "b")
+}

@@ -1,0 +1,22 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func f() {
+	_ = rand.Int()                     // want "global rand.Int draws from the process-wide source"
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle"
+
+	r := rand.New(rand.NewSource(42)) // explicit fixed seed is fine
+	_ = r.Int()                       // method on an explicit generator is fine
+
+	src := rand.NewSource(time.Now().UnixNano()) // want "rand.NewSource seeded from time.Now" "time.Now\\(\\) in library package"
+	_ = rand.New(src)
+
+	_ = time.Now() // want "time.Now\\(\\) in library package"
+
+	// edgelint:ignore seededrand — throwaway demo value, determinism irrelevant.
+	_ = rand.Float64()
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now() // binaries may time themselves
+	r := rand.New(rand.NewSource(2006))
+	_ = r.Float64()
+	_ = rand.Intn(10) // want "global rand.Intn"
+	_ = time.Since(start)
+
+	// Seeding from the wall clock is flagged even in package main.
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from time.Now" "rand.NewSource seeded from time.Now"
+}

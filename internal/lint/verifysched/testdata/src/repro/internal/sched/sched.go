@@ -1,0 +1,22 @@
+// Package sched is a stub of the real repro/internal/sched, just large
+// enough for the verifysched fixtures to type-check against the same
+// import path the analyzer matches on.
+package sched
+
+// Schedule mirrors the real result type.
+type Schedule struct {
+	Makespan float64
+}
+
+// Lister mirrors the real list scheduler.
+type Lister struct{}
+
+// Schedule mirrors the real entry point's shape.
+func (Lister) Schedule(procs int) (*Schedule, error) {
+	return &Schedule{Makespan: float64(procs)}, nil
+}
+
+// Build is a package-level constructor with the same result shape.
+func Build(procs int) (*Schedule, error) {
+	return &Schedule{Makespan: float64(procs)}, nil
+}

@@ -1,0 +1,206 @@
+// Package verifysched enforces the repository's "trusted nowhere"
+// convention (internal/verify's package doc): every schedule produced
+// in a test must flow through the verifier. It flags test functions
+// that bind a *sched.Schedule obtained from any call to a
+// variable but never reach the verifier — directly (verify.Verify,
+// the edgesched.Verify facade, any callee whose name contains
+// "verify") or through a package-local helper that transitively calls
+// one (the mustSchedule(t, ...) idiom, which verifies before
+// returning the schedule).
+//
+// Tests that only check the error result (discarding the schedule with
+// a blank identifier) are not flagged; there is nothing to verify.
+package verifysched
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags tests that schedule without verifying.
+var Analyzer = &lint.Analyzer{
+	Name: "verifysched",
+	Doc:  "flags test functions that obtain a *sched.Schedule but never pass it through verify.Verify",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	verifiers := localVerifiers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isTestFunc(pass, fd) {
+				continue
+			}
+			if bindsSchedule(pass, fd.Body) && !callsVerify(pass, fd.Body, verifiers) {
+				pass.Reportf(fd.Name.Pos(), "%s obtains a *sched.Schedule but never passes it to verify.Verify; the scheduling algorithms are trusted nowhere", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// localVerifiers computes the package-local functions that
+// (transitively) call the verifier, by iterating the direct-call
+// relation to a fixed point. A test that obtains its schedule through
+// mustSchedule(t, ...) — which verifies before returning — is covered
+// by this closure.
+func localVerifiers(pass *lint.Pass) map[*types.Func]bool {
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil {
+				bodies[obj] = fd.Body
+			}
+		}
+	}
+	verifiers := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj, body := range bodies {
+			if !verifiers[obj] && callsVerify(pass, body, verifiers) {
+				verifiers[obj] = true
+				changed = true
+			}
+		}
+	}
+	return verifiers
+}
+
+// isTestFunc reports whether fd is a go test function:
+// func TestXxx(t *testing.T).
+func isTestFunc(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if fd.Recv != nil || !strings.HasPrefix(name, "Test") {
+		return false
+	}
+	if len(name) > len("Test") {
+		r := name[len("Test")]
+		if r >= 'a' && r <= 'z' {
+			return false
+		}
+	}
+	obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "T" && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "testing"
+}
+
+// isSchedulePtr reports whether t is *sched.Schedule of this module.
+func isSchedulePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Schedule" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/sched")
+}
+
+// bindsSchedule reports whether the body binds a *sched.Schedule
+// result of any call (Schedule methods, constructors, helpers) to a
+// non-blank variable.
+func bindsSchedule(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var lhs []ast.Expr
+		var rhs []ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			lhs, rhs = st.Lhs, st.Rhs
+		case *ast.ValueSpec:
+			for _, name := range st.Names {
+				lhs = append(lhs, name)
+			}
+			rhs = st.Values
+		default:
+			return true
+		}
+		if len(rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lint.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || containsVerify(fn.Name()) {
+			// Calls into verify helpers that hand back the schedule
+			// (mustVerify-style) are themselves the verification.
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			return true
+		}
+		for i := 0; i < sig.Results().Len() && i < len(lhs); i++ {
+			if !isSchedulePtr(sig.Results().At(i).Type()) {
+				continue
+			}
+			if id, ok := lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsVerify reports whether the body calls the schedule verifier:
+// verify.Verify, the edgesched.Verify facade, any function or method
+// whose name contains "verify", or a package-local helper already
+// known to verify transitively.
+func callsVerify(pass *lint.Pass, body *ast.BlockStmt, verifiers map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lint.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			// A call of a function-typed value (e.g. a verify helper
+			// passed as a parameter): fall back to the source text.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				found = containsVerify(sel.Sel.Name)
+			} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				found = containsVerify(id.Name)
+			}
+			return !found
+		}
+		found = containsVerify(fn.Name()) || verifiers[fn]
+		return !found
+	})
+	return found
+}
+
+func containsVerify(name string) bool {
+	return strings.Contains(strings.ToLower(name), "verify")
+}

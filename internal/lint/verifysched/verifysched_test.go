@@ -1,0 +1,12 @@
+package verifysched_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/verifysched"
+)
+
+func TestVerifySched(t *testing.T) {
+	linttest.Run(t, verifysched.Analyzer, "a")
+}

@@ -77,11 +77,15 @@ type Label struct {
 	Hops   int
 }
 
-// Less reports whether l is strictly better than m.
+// Less reports whether l is strictly better than m. The comparisons
+// are exact on purpose: label dominance must be a strict weak order,
+// and an epsilon here would make routing sensitive to insertion order.
 func (l Label) Less(m Label) bool {
+	// edgelint:ignore floateq — exact lexicographic label dominance.
 	if l.Finish != m.Finish {
 		return l.Finish < m.Finish
 	}
+	// edgelint:ignore floateq — exact lexicographic label dominance.
 	if l.Start != m.Start {
 		return l.Start < m.Start
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dag"
+	"repro/internal/fptime"
 	"repro/internal/network"
 	"repro/internal/sched"
 )
@@ -73,7 +74,7 @@ func Anneal(g *dag.Graph, net *network.Topology, opt SAOptions) (*sched.Schedule
 	procs := net.Processors()
 	if len(procs) < 2 || g.NumTasks() == 0 {
 		st.FinalMakespan = st.InitialMakespan
-		if base.Makespan <= cur.Makespan {
+		if fptime.LeqEps(base.Makespan, cur.Makespan) {
 			return base, st, nil
 		}
 		return cur, st, nil
@@ -191,7 +192,7 @@ func Evolve(g *dag.Graph, net *network.Topology, opt GAOptions) (*sched.Schedule
 
 	if len(procs) < 2 || n == 0 {
 		st.FinalMakespan = st.InitialMakespan
-		if base.Makespan <= best.Makespan {
+		if fptime.LeqEps(base.Makespan, best.Makespan) {
 			return base, st, nil
 		}
 		return best, st, nil
@@ -219,7 +220,7 @@ func Evolve(g *dag.Graph, net *network.Topology, opt GAOptions) (*sched.Schedule
 	tournament := func() indiv {
 		a := pop[r.Intn(len(pop))]
 		b := pop[r.Intn(len(pop))]
-		if a.cost <= b.cost {
+		if fptime.LeqEps(a.cost, b.cost) {
 			return a
 		}
 		return b

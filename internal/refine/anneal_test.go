@@ -56,6 +56,7 @@ func TestAnnealEscapesBadStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, s)
 	if s.Makespan > 100+1e-9 {
 		t.Fatalf("annealing failed to spread independent tasks: %v", s.Makespan)
 	}
@@ -71,6 +72,8 @@ func TestAnnealDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, a)
+	mustVerify(t, b)
 	if a.Makespan != b.Makespan || sa != sb {
 		t.Fatal("annealing nondeterministic for equal seeds")
 	}
@@ -108,6 +111,7 @@ func TestEvolveEscapesBadStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, s)
 	if s.Makespan > 100+1e-9 {
 		t.Fatalf("GA failed to split independent tasks: %v", s.Makespan)
 	}
@@ -123,6 +127,8 @@ func TestEvolveDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, a)
+	mustVerify(t, b)
 	if a.Makespan != b.Makespan {
 		t.Fatal("GA nondeterministic for equal seeds")
 	}
@@ -131,10 +137,14 @@ func TestEvolveDeterministic(t *testing.T) {
 func TestMetaheuristicsSingleProcessor(t *testing.T) {
 	g := dag.Chain(3, 10, 10)
 	net := network.Star(1, network.Uniform(1), network.Uniform(1))
-	if s, _, err := Anneal(g, net, SAOptions{Seed: 1}); err != nil || s.Makespan != 30 {
-		t.Fatalf("anneal on 1 proc: %v, %v", s, err)
+	sa, _, err := Anneal(g, net, SAOptions{Seed: 1})
+	if err != nil || sa.Makespan != 30 {
+		t.Fatalf("anneal on 1 proc: %v, %v", sa, err)
 	}
-	if s, _, err := Evolve(g, net, GAOptions{Seed: 1}); err != nil || s.Makespan != 30 {
-		t.Fatalf("evolve on 1 proc: %v, %v", s, err)
+	mustVerify(t, sa)
+	ga, _, err := Evolve(g, net, GAOptions{Seed: 1})
+	if err != nil || ga.Makespan != 30 {
+		t.Fatalf("evolve on 1 proc: %v, %v", ga, err)
 	}
+	mustVerify(t, ga)
 }

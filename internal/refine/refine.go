@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dag"
+	"repro/internal/fptime"
 	"repro/internal/network"
 	"repro/internal/sched"
 )
@@ -114,7 +115,7 @@ func Refine(g *dag.Graph, net *network.Topology, opt Options) (*sched.Schedule, 
 	procs := net.Processors()
 	if len(procs) < 2 || g.NumTasks() == 0 {
 		st.FinalMakespan = st.InitialMakespan
-		if base.Makespan <= best.Makespan {
+		if fptime.LeqEps(base.Makespan, best.Makespan) {
 			return base, st, nil
 		}
 		return best, st, nil

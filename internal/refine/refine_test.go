@@ -45,6 +45,13 @@ func TestRefineNeverWorseThanBase(t *testing.T) {
 	}
 }
 
+func mustVerify(t *testing.T, s *sched.Schedule) {
+	t.Helper()
+	if res := verify.Verify(s); !res.OK() {
+		t.Fatalf("invalid schedule: %v", res.Err())
+	}
+}
+
 func TestRefineFindsObviousImprovement(t *testing.T) {
 	// Two independent heavy tasks and a machine with two processors:
 	// a deliberately bad base that puts both on one processor must be
@@ -59,6 +66,7 @@ func TestRefineFindsObviousImprovement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, s)
 	if s.Makespan > 100+1e-9 {
 		t.Fatalf("refiner failed to split independent tasks: makespan %v", s.Makespan)
 	}
@@ -90,6 +98,7 @@ func TestRefineSingleProcessorNoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, s)
 	if s.Makespan != 40 {
 		t.Fatalf("makespan %v, want 40", s.Makespan)
 	}
@@ -114,6 +123,8 @@ func TestRefineDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, a)
+	mustVerify(t, b)
 	if a.Makespan != b.Makespan || sa != sb {
 		t.Fatalf("nondeterministic refinement: %v/%v, %+v/%+v", a.Makespan, b.Makespan, sa, sb)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/fptime"
 	"repro/internal/linksched"
 	"repro/internal/network"
 )
@@ -510,7 +511,7 @@ func (s *state) selectByEstimate(tid dag.TaskID, withComm bool) network.NodeID {
 			}
 		}
 		score := ready + task.Cost/s.net.Node(p).Speed
-		if score < bestScore-linksched.Eps {
+		if fptime.LessEps(score, bestScore) {
 			bestScore = score
 			best = p
 		}
@@ -531,7 +532,7 @@ func (s *state) selectByEFT(tid dag.TaskID) (network.NodeID, error) {
 		if err != nil {
 			return -1, err
 		}
-		if finish < bestFinish-linksched.Eps {
+		if fptime.LessEps(finish, bestFinish) {
 			bestFinish = finish
 			best = p
 		}
@@ -626,8 +627,8 @@ func (s *state) tryDuplicate(eid dag.EdgeID, proc network.NodeID, base float64) 
 	dupStart := s.procFinish[proc]
 	dupFinish := dupStart + s.g.Task(e.From).Cost/s.net.Node(proc).Speed
 	estArrival := base + e.Cost/s.mls
-	if dupFinish >= estArrival {
-		return false
+	if fptime.GeqEps(dupFinish, estArrival) {
+		return false // duplication must win by more than rounding noise
 	}
 	s.touchDup()
 	s.dups = append(s.dups, TaskPlacement{Task: e.From, Proc: proc, Start: dupStart, Finish: dupFinish})

@@ -693,3 +693,43 @@ func TestCustomAblationCombos(t *testing.T) {
 		}
 	}
 }
+
+func TestEFTSelectsContentionAwareBest(t *testing.T) {
+	// Two big edges from one source: EFT should discover that fanning
+	// both children out saturates the source's uplink and colocate at
+	// least one child with the source.
+	g := dag.New()
+	src := g.AddTask("src", 1)
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.AddEdge(src, a, 1000)
+	g.AddEdge(src, b, 1000)
+	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+	s := mustSchedule(t, sched.NewBASinnen(), g, net)
+	onSrc := 0
+	for _, tid := range []dag.TaskID{a, b} {
+		if s.Tasks[tid].Proc == s.Tasks[src].Proc {
+			onSrc++
+		}
+	}
+	if onSrc == 0 {
+		t.Fatalf("EFT fanned out both children despite 1000-cost edges (makespan %v)", s.Makespan)
+	}
+}
+
+func TestZeroCostEdgesAndTasks(t *testing.T) {
+	// Zero-cost tasks and edges must not break any engine.
+	g := dag.New()
+	a := g.AddTask("a", 0)
+	b := g.AddTask("b", 0)
+	c := g.AddTask("c", 5)
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	for _, alg := range []sched.Algorithm{sched.NewBA(), sched.NewOIHSA(), sched.NewBBSA()} {
+		s := mustSchedule(t, alg, g, net)
+		if s.Makespan != 5 {
+			t.Errorf("%s: makespan %v, want 5", alg.Name(), s.Makespan)
+		}
+	}
+}

@@ -48,6 +48,7 @@ func Events(s *sched.Schedule) []Event {
 		)
 	}
 	sort.Slice(evs, func(i, j int) bool {
+		// edgelint:ignore floateq — exact sort tiebreak for a stable order.
 		if evs[i].Time != evs[j].Time {
 			return evs[i].Time < evs[j].Time
 		}

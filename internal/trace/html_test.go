@@ -32,10 +32,7 @@ func TestWriteHTMLReport(t *testing.T) {
 func TestWriteHTMLReportIdeal(t *testing.T) {
 	g := dag.Diamond(10, 10)
 	net := network.Star(3, network.Uniform(1), network.Uniform(1))
-	s, err := sched.NewClassic().Schedule(g, net)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := mustSchedule(t, sched.NewClassic(), g, net)
 	var buf bytes.Buffer
 	if err := WriteHTMLReport(&buf, s); err != nil {
 		t.Fatal(err)
@@ -50,10 +47,7 @@ func TestWriteHTMLReportEscapesNames(t *testing.T) {
 	g := dag.New()
 	g.AddTask(`<script>alert(1)</script>`, 10)
 	net := network.Star(2, network.Uniform(1), network.Uniform(1))
-	s, err := sched.NewBA().Schedule(g, net)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := mustSchedule(t, sched.NewBA(), g, net)
 	var buf bytes.Buffer
 	if err := WriteHTMLReport(&buf, s); err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/fptime"
 	"repro/internal/network"
 	"repro/internal/sched"
 )
@@ -163,7 +164,7 @@ func WriteGanttSVG(w io.Writer, s *sched.Schedule, opt SVGOptions) error {
 				continue
 			}
 			for _, c := range pl.Chunks {
-				if c.End <= c.Start {
+				if fptime.LeqEps(c.End, c.Start) {
 					continue
 				}
 				h := (rowH - 4) * c.Rate

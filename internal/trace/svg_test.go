@@ -47,10 +47,7 @@ func TestWriteGanttSVGEscapesNames(t *testing.T) {
 	g := dag.New()
 	g.AddTask(`evil<&>"name'`, 10)
 	net := network.Star(2, network.Uniform(1), network.Uniform(1))
-	s, err := sched.NewBA().Schedule(g, net)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := mustSchedule(t, sched.NewBA(), g, net)
 	var buf bytes.Buffer
 	if err := WriteGanttSVG(&buf, s, SVGOptions{}); err != nil {
 		t.Fatal(err)

@@ -10,15 +10,24 @@ import (
 	"repro/internal/dag"
 	"repro/internal/network"
 	"repro/internal/sched"
+	"repro/internal/verify"
 )
 
 func sampleSchedule(t *testing.T, algo sched.Algorithm) *sched.Schedule {
 	t.Helper()
 	g := dag.ForkJoin(3, 10, 20)
 	net := network.Star(3, network.Uniform(1), network.Uniform(1))
+	return mustSchedule(t, algo, g, net)
+}
+
+func mustSchedule(t *testing.T, algo sched.Algorithm, g *dag.Graph, net *network.Topology) *sched.Schedule {
+	t.Helper()
 	s, err := algo.Schedule(g, net)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res := verify.Verify(s); !res.OK() {
+		t.Fatalf("%s produced an invalid schedule: %v", algo.Name(), res.Err())
 	}
 	return s
 }
@@ -61,10 +70,7 @@ func TestWriteGanttSharedBandwidthMarks(t *testing.T) {
 		EdgeCost: dag.CostDist{Lo: 1, Hi: 100},
 	})
 	net := network.Star(5, network.Uniform(1), network.Uniform(1))
-	s, err := sched.NewBBSA().Schedule(g, net)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := mustSchedule(t, sched.NewBBSA(), g, net)
 	if s.CommStats().RoutedEdges == 0 {
 		t.Skip("instance had no routed edges")
 	}
@@ -214,10 +220,7 @@ func TestWriteScheduleCSVChunks(t *testing.T) {
 		EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
 	})
 	net := network.Star(5, network.Uniform(1), network.Uniform(1))
-	s, err := sched.NewBBSA().Schedule(g, net)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := mustSchedule(t, sched.NewBBSA(), g, net)
 	if s.CommStats().RoutedEdges == 0 {
 		t.Skip("no routed edges")
 	}

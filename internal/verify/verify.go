@@ -11,18 +11,15 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/fptime"
 	"repro/internal/linksched"
 	"repro/internal/network"
 	"repro/internal/sched"
 )
 
-// tolerances for float comparisons.
-const (
-	absTol = 1e-6
-	relTol = 1e-9
-)
-
-func geq(a, b float64) bool { return a >= b-absTol-relTol*math.Abs(b) }
+// All float comparisons go through internal/fptime's verification
+// helpers (AbsTol/RelTol regime); see that package for the rationale.
+func geq(a, b float64) bool { return fptime.Geq(a, b) }
 
 // Violation describes one broken invariant.
 type Violation struct {
@@ -99,11 +96,11 @@ func verifyPlacements(s *sched.Schedule, r *Result) {
 			r.addf("placement", "%s %d mapped to non-processor node %s", what, tp.Task, node.Name)
 			return
 		}
-		if tp.Start < -absTol {
+		if !fptime.Geq(tp.Start, 0) {
 			r.addf("placement", "%s %d starts at negative time %v", what, tp.Task, tp.Start)
 		}
 		want := s.Graph.Task(tp.Task).Cost / node.Speed
-		if math.Abs((tp.Finish-tp.Start)-want) > absTol+relTol*want {
+		if !fptime.Close(tp.Finish-tp.Start, want) {
 			r.addf("placement", "%s %d runs %v, want %v on %s", what, tp.Task, tp.Finish-tp.Start, want, node.Name)
 		}
 	}
@@ -185,7 +182,7 @@ func verifyPrecedence(s *sched.Schedule, r *Result) {
 		}
 		if n := len(es.Placements); n > 0 {
 			last := es.Placements[n-1]
-			if math.Abs(last.Finish-es.Arrival) > absTol {
+			if !fptime.Close(last.Finish, es.Arrival) {
 				r.addf("edge", "edge %d arrival %v disagrees with last-link finish %v", e.ID, es.Arrival, last.Finish)
 			}
 			first := es.Placements[0]
@@ -279,7 +276,7 @@ func verifyLinkCausality(s *sched.Schedule, r *Result) {
 				for _, t := range []float64{c.Start, c.End} {
 					in := volumeBy(prev.Chunks, t-hd)
 					out := volumeBy(cur.Chunks, t)
-					if out > in+absTol+1e-6*in {
+					if !fptime.LeqRel(out, in, 1e-6) {
 						r.addf("causality", "edge %d: link %d forwarded %v by t=%v but only %v arrived from link %d",
 							es.Edge, cur.Link, out, t, in, prev.Link)
 					}
@@ -293,7 +290,7 @@ func verifyLinkCausality(s *sched.Schedule, r *Result) {
 func volumeBy(chunks []linksched.Chunk, t float64) float64 {
 	v := 0.0
 	for _, c := range chunks {
-		if c.End <= t {
+		if fptime.LeqEps(c.End, t) {
 			v += c.Volume
 		} else if c.Start < t {
 			frac := (t - c.Start) / (c.End - c.Start)
@@ -313,7 +310,7 @@ func verifyLinkCapacity(s *sched.Schedule, r *Result) {
 	}
 	uses := map[network.LinkID][]eventT{}
 	add := func(l network.LinkID, start, end, rate float64) {
-		if end-start <= absTol {
+		if fptime.Leq(end-start, 0) {
 			return
 		}
 		uses[l] = append(uses[l], eventT{t: start, rate: rate}, eventT{t: end, rate: -rate})
@@ -328,7 +325,7 @@ func verifyLinkCapacity(s *sched.Schedule, r *Result) {
 				continue
 			}
 			for _, c := range p.Chunks {
-				if c.Rate < -absTol || c.Rate > 1+absTol {
+				if !fptime.Geq(c.Rate, 0) || !fptime.Leq(c.Rate, 1) {
 					r.addf("capacity", "edge %d chunk on link %d has rate %v outside [0,1]", es.Edge, p.Link, c.Rate)
 				}
 				add(p.Link, c.Start, c.End, c.Rate)
@@ -355,7 +352,7 @@ func verifyLinkCapacity(s *sched.Schedule, r *Result) {
 			if i+1 < len(evs) {
 				until = evs[i+1].t
 			}
-			if until-ev.t > absTol {
+			if !fptime.Leq(until-ev.t, 0) {
 				r.addf("capacity", "link %d oversubscribed: load %.6f during [%v, %v]", l, load, ev.t, until)
 				break
 			}
@@ -376,7 +373,7 @@ func verifyVolumes(s *sched.Schedule, r *Result) {
 			link := s.Net.Link(p.Link)
 			if p.Chunks == nil {
 				want := cost / link.Speed
-				if math.Abs((p.Finish-p.Start)-want) > absTol+relTol*want {
+				if !fptime.Close(p.Finish-p.Start, want) {
 					r.addf("volume", "edge %d occupies link %d for %v, want %v",
 						es.Edge, p.Link, p.Finish-p.Start, want)
 				}
@@ -386,17 +383,17 @@ func verifyVolumes(s *sched.Schedule, r *Result) {
 			prevEnd := math.Inf(-1)
 			for _, c := range p.Chunks {
 				vol += c.Volume
-				if c.Start < prevEnd-absTol {
+				if !fptime.Geq(c.Start, prevEnd) {
 					r.addf("volume", "edge %d chunks overlap on link %d", es.Edge, p.Link)
 				}
 				prevEnd = c.End
 				wantVol := c.Rate * link.Speed * (c.End - c.Start)
-				if math.Abs(c.Volume-wantVol) > absTol+1e-6*wantVol {
+				if !fptime.CloseRel(c.Volume, wantVol, 1e-6) {
 					r.addf("volume", "edge %d chunk on link %d carries %v, rate*speed*dur=%v",
 						es.Edge, p.Link, c.Volume, wantVol)
 				}
 			}
-			if math.Abs(vol-cost) > absTol+1e-6*cost {
+			if !fptime.CloseRel(vol, cost, 1e-6) {
 				r.addf("volume", "edge %d moved %v over link %d, want %v", es.Edge, vol, p.Link, cost)
 			}
 		}
@@ -411,7 +408,7 @@ func verifyMakespan(s *sched.Schedule, r *Result) {
 			m = tp.Finish
 		}
 	}
-	if math.Abs(m-s.Makespan) > absTol+relTol*m {
+	if !fptime.Close(s.Makespan, m) {
 		r.addf("makespan", "reported %v, placements say %v", s.Makespan, m)
 	}
 }
