@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint check
+.PHONY: build vet test race lint check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ race:
 
 lint:
 	$(GO) run ./cmd/edgelint ./...
+
+# bench runs the full suite 5 times, writes the next BENCH_<n>.json
+# snapshot, and prints the delta against the previous one (~15 min).
+bench:
+	$(GO) run ./cmd/benchdiff -run
+
+# bench-smoke compiles and runs every benchmark exactly once — a fast
+# CI guard that the benchmark suite itself stays green.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
 # check mirrors the CI pipeline (.github/workflows/ci.yml).
 check: build vet test race lint

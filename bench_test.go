@@ -130,8 +130,24 @@ func benchAlgorithm(b *testing.B, a sched.Algorithm) {
 // BenchmarkScheduleBA times BA on one 300-task, 32-processor instance.
 func BenchmarkScheduleBA(b *testing.B) { benchAlgorithm(b, sched.NewBA()) }
 
-// BenchmarkScheduleBASinnen times the strong EFT baseline.
-func BenchmarkScheduleBASinnen(b *testing.B) { benchAlgorithm(b, sched.NewBASinnen()) }
+// BenchmarkScheduleBASinnen times the strong EFT baseline with
+// sequential processor probes (pinned so the series stays comparable
+// across snapshots regardless of the runner's core count).
+func BenchmarkScheduleBASinnen(b *testing.B) {
+	a := sched.NewBASinnen()
+	a.Opts.ProbeWorkers = 1
+	benchAlgorithm(b, a)
+}
+
+// BenchmarkScheduleBASinnenParallel times the same EFT baseline with
+// the processor probes fanned out over GOMAXPROCS forked states. The
+// schedule is bit-identical to the sequential run; only wall-clock per
+// Schedule call should change (on multi-core machines).
+func BenchmarkScheduleBASinnenParallel(b *testing.B) {
+	a := sched.NewBASinnen()
+	a.Opts.ProbeWorkers = 0 // GOMAXPROCS
+	benchAlgorithm(b, a)
+}
 
 // BenchmarkScheduleOIHSA times OIHSA on the same instance.
 func BenchmarkScheduleOIHSA(b *testing.B) { benchAlgorithm(b, sched.NewOIHSA()) }

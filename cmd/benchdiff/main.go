@@ -1,0 +1,296 @@
+// Command benchdiff runs the repository benchmark suite, snapshots the
+// results as BENCH_<n>.json, and reports the change against the
+// previous snapshot so performance regressions show up as a reviewable
+// diff instead of an anecdote.
+//
+// Usage:
+//
+//	benchdiff -run               # run the suite, write the next BENCH_<n>.json, compare
+//	benchdiff -parse out.txt     # convert saved `go test -bench` output to the next snapshot
+//	benchdiff -compare A.json B.json   # print the delta table between two snapshots
+//	benchdiff -run -count 3 -bench 'Figure'   # narrower/faster run
+//
+// Snapshots aggregate `go test -bench . -benchmem -count N` samples per
+// benchmark (mean and best ns/op, mean B/op and allocs/op). The delta
+// table reports the percentage change of the mean ns/op and mean
+// allocs/op; negative is faster/leaner. Changes within ±3% on ns/op are
+// noise on most machines — read the direction of the whole table, not a
+// single row.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sample is the aggregated measurement of one benchmark.
+type Sample struct {
+	Samples     int     `json:"samples"`       // -count repetitions seen
+	Iterations  int64   `json:"iterations"`    // b.N of the last repetition
+	NsPerOp     float64 `json:"ns_per_op"`     // mean over repetitions
+	MinNsPerOp  float64 `json:"min_ns_per_op"` // best repetition
+	BytesPerOp  float64 `json:"bytes_per_op"`  // mean
+	AllocsPerOp float64 `json:"allocs_per_op"` // mean
+}
+
+// Snapshot is the on-disk BENCH_<n>.json format.
+type Snapshot struct {
+	Created    string            `json:"created"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Command    string            `json:"command"`
+	Benchmarks map[string]Sample `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		run     = flag.Bool("run", false, "run the benchmark suite and snapshot the results")
+		parse   = flag.String("parse", "", "parse saved `go test -bench` output from a file instead of running")
+		compare = flag.Bool("compare", false, "compare two snapshot files given as arguments")
+		count   = flag.Int("count", 5, "benchmark repetitions (-run)")
+		bench   = flag.String("bench", ".", "benchmark selection regexp (-run)")
+		pkg     = flag.String("pkg", ".", "package to benchmark (-run)")
+		dir     = flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+		timeOut = flag.String("timeout", "60m", "go test timeout (-run)")
+	)
+	flag.Parse()
+
+	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two snapshot files"))
+		}
+		old, err := load(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := load(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		printDelta(os.Stdout, flag.Arg(0), flag.Arg(1), old, cur)
+	case *parse != "":
+		text, err := os.ReadFile(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		snap := newSnapshot("parsed from " + *parse)
+		snap.Benchmarks = parseBench(string(text))
+		if len(snap.Benchmarks) == 0 {
+			fatal(fmt.Errorf("no benchmark lines found in %s", *parse))
+		}
+		if err := saveAndCompare(*dir, snap); err != nil {
+			fatal(err)
+		}
+	case *run:
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+			"-count", strconv.Itoa(*count), "-timeout", *timeOut, *pkg}
+		fmt.Fprintln(os.Stderr, "benchdiff: go "+strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("go test -bench: %w", err))
+		}
+		snap := newSnapshot("go " + strings.Join(args, " "))
+		snap.Benchmarks = parseBench(string(out))
+		if len(snap.Benchmarks) == 0 {
+			fatal(fmt.Errorf("benchmark run produced no parsable lines"))
+		}
+		if err := saveAndCompare(*dir, snap); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func newSnapshot(command string) *Snapshot {
+	return &Snapshot{
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Command:    command,
+		Benchmarks: map[string]Sample{},
+	}
+}
+
+// benchLine matches the head of one `go test -bench` result line, e.g.
+//
+//	BenchmarkFigure1-8   5   234567890 ns/op   123456 B/op   1234 allocs/op
+//
+// Custom metrics (b.ReportMetric) may appear between ns/op and the
+// -benchmem columns, so bytes and allocs are extracted separately.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	bytesUnit  = regexp.MustCompile(`\s([\d.]+) B/op`)
+	allocsUnit = regexp.MustCompile(`\s([\d.]+) allocs/op`)
+)
+
+// parseBench aggregates repeated benchmark lines (from -count N) into
+// one Sample per benchmark name. The -<GOMAXPROCS> suffix is stripped
+// so snapshots from differently sized machines stay comparable by name.
+func parseBench(text string) map[string]Sample {
+	type acc struct {
+		n                  int
+		iters              int64
+		ns, minNs, b, alcs float64
+	}
+	accs := map[string]*acc{}
+	for _, line := range strings.Split(text, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		a := accs[name]
+		if a == nil {
+			a = &acc{minNs: ns}
+			accs[name] = a
+		}
+		a.n++
+		a.iters = iters
+		a.ns += ns
+		if ns < a.minNs {
+			a.minNs = ns
+		}
+		if bm := bytesUnit.FindStringSubmatch(line); bm != nil {
+			v, _ := strconv.ParseFloat(bm[1], 64)
+			a.b += v
+		}
+		if am := allocsUnit.FindStringSubmatch(line); am != nil {
+			v, _ := strconv.ParseFloat(am[1], 64)
+			a.alcs += v
+		}
+	}
+	out := map[string]Sample{}
+	for name, a := range accs {
+		n := float64(a.n)
+		out[name] = Sample{
+			Samples:     a.n,
+			Iterations:  a.iters,
+			NsPerOp:     a.ns / n,
+			MinNsPerOp:  a.minNs,
+			BytesPerOp:  a.b / n,
+			AllocsPerOp: a.alcs / n,
+		}
+	}
+	return out
+}
+
+// snapFile names the numbered snapshot files.
+var snapFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latest returns the highest snapshot index in dir (0 if none).
+func latest(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, e := range entries {
+		if m := snapFile.FindStringSubmatch(e.Name()); m != nil {
+			if n, _ := strconv.Atoi(m[1]); n > max {
+				max = n
+			}
+		}
+	}
+	return max, nil
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// saveAndCompare writes the next BENCH_<n>.json and, when a previous
+// snapshot exists, prints the delta table against it.
+func saveAndCompare(dir string, snap *Snapshot) error {
+	prev, err := latest(dir)
+	if err != nil {
+		return err
+	}
+	next := prev + 1
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	if prev == 0 {
+		fmt.Println("no previous snapshot; nothing to compare")
+		return nil
+	}
+	prevPath := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", prev))
+	old, err := load(prevPath)
+	if err != nil {
+		return err
+	}
+	printDelta(os.Stdout, prevPath, path, old, snap)
+	return nil
+}
+
+// printDelta renders the comparison table between two snapshots.
+func printDelta(w *os.File, oldName, newName string, old, cur *Snapshot) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%s -> %s\n", oldName, newName)
+	fmt.Fprintf(w, "%-34s %14s %14s %8s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ%", "allocs/op", "Δ%")
+	for _, name := range names {
+		n := cur.Benchmarks[name]
+		o, ok := old.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s %12.0f %8s\n",
+				name, "-", n.NsPerOp, "new", n.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %+7.1f%% %12.0f %+7.1f%%\n",
+			name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			n.AllocsPerOp, pct(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	for name := range old.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-34s removed\n", name)
+		}
+	}
+}
+
+// pct is the percentage change from old to new; 0 when old is 0.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

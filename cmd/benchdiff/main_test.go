@@ -1,0 +1,103 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFigure1-8   	       2	 500000000 ns/op	20000000 B/op	  300000 allocs/op
+BenchmarkFigure1-8   	       2	 520000000 ns/op	20000000 B/op	  300000 allocs/op
+BenchmarkBFSRoute-8  	 1000000	      1050 ns/op	     512 B/op	      12 allocs/op
+BenchmarkBFSRoute-8  	 1000000	       950 ns/op	     512 B/op	      12 allocs/op
+BenchmarkAblationX   	      10	 100000000 ns/op	        26.00 improv_%	 4000000 B/op	   50000 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchAggregates(t *testing.T) {
+	got := parseBench(sampleOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	// Custom b.ReportMetric columns must not hide the -benchmem ones.
+	abl := got["BenchmarkAblationX"]
+	if abl.BytesPerOp != 4000000 || abl.AllocsPerOp != 50000 {
+		t.Fatalf("custom-metric line parsed as %+v", abl)
+	}
+	fig, ok := got["BenchmarkFigure1"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if fig.Samples != 2 || math.Abs(fig.NsPerOp-510000000) > 1 {
+		t.Fatalf("Figure1 sample %+v", fig)
+	}
+	if fig.MinNsPerOp != 500000000 {
+		t.Fatalf("Figure1 min %v, want 5e8", fig.MinNsPerOp)
+	}
+	bfs := got["BenchmarkBFSRoute"]
+	if math.Abs(bfs.NsPerOp-1000) > 1e-9 || bfs.AllocsPerOp != 12 || bfs.BytesPerOp != 512 {
+		t.Fatalf("BFSRoute sample %+v", bfs)
+	}
+	if bfs.Iterations != 1000000 {
+		t.Fatalf("BFSRoute iterations %d", bfs.Iterations)
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	if got := parseBench("PASS\nok repro 1s\n--- BENCH: x\n"); len(got) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %v", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(200, 100); got != -50 {
+		t.Fatalf("pct(200,100)=%v", got)
+	}
+	if got := pct(0, 100); got != 0 {
+		t.Fatalf("pct(0,100)=%v", got)
+	}
+}
+
+func TestLatestSnapshotIndex(t *testing.T) {
+	dir := t.TempDir()
+	if n, err := latest(dir); err != nil || n != 0 {
+		t.Fatalf("empty dir: n=%d err=%v", n, err)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_x.json", "other.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := latest(dir); err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v, want 3", n, err)
+	}
+}
+
+func TestSaveAndCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := newSnapshot("test")
+	snap.Benchmarks = parseBench(sampleOutput)
+	if err := saveAndCompare(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := load(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Benchmarks) != 3 || loaded.Command != "test" {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+	// A second snapshot bumps the index and compares cleanly.
+	if err := saveAndCompare(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Fatal(err)
+	}
+}

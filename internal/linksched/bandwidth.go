@@ -318,6 +318,17 @@ func (t *BWTimeline) Validate() error {
 	return nil
 }
 
+// Clone returns an independent deep copy of the timeline: mutations of
+// either copy never affect the other. Used by forked scheduler states
+// probing processor candidates in parallel.
+func (t *BWTimeline) Clone() *BWTimeline {
+	cp := make([]seg, len(t.segs))
+	for i, s := range t.segs {
+		cp[i] = seg{start: s.start, end: s.end, avail: s.avail, uses: append([]use(nil), s.uses...)}
+	}
+	return &BWTimeline{segs: cp}
+}
+
 // BWSnapshot captures a BWTimeline for later Restore.
 type BWSnapshot struct {
 	segs []seg

@@ -270,6 +270,13 @@ func (t *Timeline) Restore(s Snapshot) {
 	t.slots = append(t.slots[:0], s.slots...)
 }
 
+// Clone returns an independent deep copy of the timeline: mutations of
+// either copy never affect the other. Used by forked scheduler states
+// probing processor candidates in parallel.
+func (t *Timeline) Clone() *Timeline {
+	return &Timeline{slots: append([]Slot(nil), t.slots...)}
+}
+
 // LastEnd returns the end of the last occupied slot, or 0 for an empty
 // timeline — the earliest time at which the link is free forever.
 func (t *Timeline) LastEnd() float64 {

@@ -1,9 +1,6 @@
 package network
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Route is a path through the network: the ordered list of links an
 // edge's communication traverses from a source processor to a target
@@ -22,36 +19,12 @@ func (e *ErrNoRoute) Error() string {
 // BFSRoute returns a minimal route (fewest links) from src to dst using
 // breadth-first search with deterministic tie-breaking by link
 // insertion order, as used by the Basic Algorithm. src == dst yields an
-// empty route.
+// empty route. The search runs on a pooled Router; hold a Router (see
+// NewRouter) to also reuse a route cache across calls.
 func (t *Topology) BFSRoute(src, dst NodeID) (Route, error) {
-	t.checkNode(src)
-	t.checkNode(dst)
-	if src == dst {
-		return Route{}, nil
-	}
-	prev := make([]hop, len(t.nodes))
-	for i := range prev {
-		prev[i] = hop{Link: -1, To: -1}
-	}
-	seen := make([]bool, len(t.nodes))
-	seen[src] = true
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, h := range t.adj[n] {
-			if seen[h.To] {
-				continue
-			}
-			seen[h.To] = true
-			prev[h.To] = hop{Link: h.Link, To: n}
-			if h.To == dst {
-				return t.unwind(prev, src, dst), nil
-			}
-			queue = append(queue, h.To)
-		}
-	}
-	return nil, &ErrNoRoute{From: src, To: dst}
+	r := t.router()
+	defer t.routers.Put(r)
+	return r.BFSRoute(src, dst)
 }
 
 func (t *Topology) unwind(prev []hop, src, dst NodeID) Route {
@@ -103,52 +76,20 @@ type RelaxFunc func(l Link, cur Label) Label
 // routing algorithm (§4.3): "the minimal criterion is the finish time
 // of the edge on each link by basic insertion". init is the label at
 // the source node (its Finish is normally the source task's finish
-// time, Start likewise). src == dst yields an empty route.
+// time, Start likewise). src == dst yields an empty route. The search
+// runs on a pooled Router (see NewRouter for a dedicated one).
 func (t *Topology) DijkstraRoute(src, dst NodeID, init Label, relax RelaxFunc) (Route, Label, error) {
-	t.checkNode(src)
-	t.checkNode(dst)
-	if src == dst {
-		return Route{}, init, nil
+	r := t.router()
+	defer t.routers.Put(r)
+	return r.DijkstraRoute(src, dst, init, relax)
+}
+
+// router fetches a scratch Router from the topology's pool.
+func (t *Topology) router() *Router {
+	if v := t.routers.Get(); v != nil {
+		return v.(*Router)
 	}
-	const unvisited = -2
-	prev := make([]hop, len(t.nodes))
-	best := make([]Label, len(t.nodes))
-	state := make([]int8, len(t.nodes)) // 0 unseen, 1 open, 2 closed
-	for i := range prev {
-		prev[i] = hop{Link: -1, To: unvisited}
-	}
-	pq := &labelQueue{}
-	heap.Init(pq)
-	best[src] = init
-	state[src] = 1
-	heap.Push(pq, labelItem{node: src, label: init})
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(labelItem)
-		if state[it.node] == 2 {
-			continue
-		}
-		if best[it.node].Less(it.label) {
-			continue // stale entry
-		}
-		state[it.node] = 2
-		if it.node == dst {
-			return t.unwind(prev, src, dst), best[dst], nil
-		}
-		for _, h := range t.adj[it.node] {
-			if state[h.To] == 2 {
-				continue
-			}
-			nl := relax(t.links[h.Link], best[it.node])
-			nl.Hops = best[it.node].Hops + 1
-			if state[h.To] == 0 || nl.Less(best[h.To]) {
-				best[h.To] = nl
-				prev[h.To] = hop{Link: h.Link, To: it.node}
-				state[h.To] = 1
-				heap.Push(pq, labelItem{node: h.To, label: nl})
-			}
-		}
-	}
-	return nil, Label{}, &ErrNoRoute{From: src, To: dst}
+	return t.NewRouter(nil)
 }
 
 type labelItem struct {

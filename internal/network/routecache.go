@@ -1,0 +1,103 @@
+package network
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultRouteCacheSize is the entry capacity of a route cache created
+// with size 0. A sweep instance touches at most |P|·(|P|−1) ordered
+// processor pairs; 4096 covers a 64-processor machine completely.
+const DefaultRouteCacheSize = 4096
+
+// RouteCache memoizes BFS minimal routes between node pairs. Because a
+// Topology is immutable during scheduling and BFSRoute is a pure
+// function of the topology, a (src, dst) pair always yields the same
+// route; the schedulers' processor probes recompute it thousands of
+// times per sweep. The cache is a bounded LRU and safe for concurrent
+// use, so forked scheduler states probing candidate processors in
+// parallel can share one instance.
+//
+// Cached routes are shared slices: callers must treat them as
+// read-only, as all scheduler code does.
+type RouteCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // *routeEntry, front = most recently used
+	byKey map[routeKey]*list.Element
+
+	hits, misses int64
+}
+
+type routeKey struct {
+	src, dst NodeID
+}
+
+type routeEntry struct {
+	key   routeKey
+	route Route
+	err   error
+}
+
+// NewRouteCache returns an empty cache holding at most capacity
+// entries (DefaultRouteCacheSize when capacity is 0 or negative).
+func NewRouteCache(capacity int) *RouteCache {
+	if capacity <= 0 {
+		capacity = DefaultRouteCacheSize
+	}
+	return &RouteCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[routeKey]*list.Element),
+	}
+}
+
+// lookup returns the cached route (or routing error) for the pair and
+// whether it was present.
+func (c *RouteCache) lookup(src, dst NodeID) (Route, error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[routeKey{src, dst}]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	e := el.Value.(*routeEntry)
+	return e.route, e.err, true
+}
+
+// store records the route (or routing error) for the pair, evicting
+// the least recently used entry when full.
+func (c *RouteCache) store(src, dst NodeID, route Route, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := routeKey{src, dst}
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*routeEntry)
+		e.route, e.err = route, err
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*routeEntry).key)
+	}
+	c.byKey[key] = c.order.PushFront(&routeEntry{key: key, route: route, err: err})
+}
+
+// Len reports the number of cached pairs.
+func (c *RouteCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports the lookup hit and miss counts so far.
+func (c *RouteCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

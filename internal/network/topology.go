@@ -13,6 +13,7 @@ package network
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a network node (processor or switch).
@@ -85,6 +86,11 @@ type Topology struct {
 	links []Link
 	adj   [][]hop  // outgoing hops per node, deterministic order
 	procs []NodeID // processor IDs in insertion order
+
+	// routers pools scratch Routers for the one-shot BFSRoute and
+	// DijkstraRoute convenience methods, so casual callers get buffer
+	// reuse without holding a Router themselves.
+	routers sync.Pool
 }
 
 // NewTopology returns an empty topology.

@@ -1,0 +1,326 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dag"
+	"repro/internal/fptime"
+	"repro/internal/linksched"
+	"repro/internal/network"
+)
+
+// This file implements parallel earliest-finish-time processor
+// selection over forked scheduler states. The sequential BA probe loop
+// tentatively places a ready task on every processor — each probe
+// doing route search plus per-link timeline insertion — and rolls
+// back; with |P| processors that is |P| full placements per task, the
+// dominant cost of EFT scheduling under the edge-scheduling model.
+//
+// The parallel engine keeps ProbeWorkers replicas of the scheduler
+// state. Every replica applies the same committed placements in the
+// same order, so all replicas are bit-identical at the start of each
+// selection; the processor candidates are then partitioned among the
+// replicas and probed concurrently, each replica using its own
+// transaction journal exactly like the sequential path. Because a
+// probe's result depends only on the (identical) state, the gathered
+// finish times are independent of which replica evaluated them, and a
+// deterministic fold — lowest finish time beyond the fptime tolerance,
+// ties to the lowest processor ID — makes the chosen processor, and
+// therefore the whole schedule, bit-identical at any worker count.
+
+// probeStats counts EFT probe work. The counters are shared by all
+// forks of a state and are updated atomically.
+type probeStats struct {
+	probes atomic.Int64 // tentative placements evaluated
+	pruned atomic.Int64 // candidates skipped by the finish lower bound
+}
+
+// eftScratch holds the per-selection buffers of selectByEFT so the
+// probe loop allocates nothing after the first task.
+type eftScratch struct {
+	lb     []float64
+	finish []float64
+	errs   []error
+	skip   []bool
+	cands  []int
+}
+
+func (e *eftScratch) resize(n int) {
+	if cap(e.lb) < n {
+		e.lb = make([]float64, n)
+		e.finish = make([]float64, n)
+		e.errs = make([]error, n)
+		e.skip = make([]bool, n)
+	}
+	e.lb = e.lb[:n]
+	e.finish = e.finish[:n]
+	e.errs = e.errs[:n]
+	e.skip = e.skip[:n]
+	e.cands = e.cands[:0]
+}
+
+// probeWorkers resolves the configured worker count: 0 means
+// GOMAXPROCS, anything below 1 is clamped to 1 (sequential).
+func probeWorkers(opts Options) int {
+	w := opts.ProbeWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Clone returns a deep copy of the scheduling state: an independent
+// replica whose timelines, placement records and processor clocks can
+// be mutated without affecting the original. The immutable inputs
+// (graph, topology, options) are shared, as are the concurrency-safe
+// route cache and probe counters. Cloning inside a transaction is a
+// bug and panics.
+func (s *state) Clone() *state {
+	if s.tx != nil {
+		panic("sched: Clone inside a transaction")
+	}
+	c := &state{
+		g:          s.g,
+		net:        s.net,
+		opts:       s.opts,
+		mls:        s.mls,
+		routeCache: s.routeCache,
+		stats:      s.stats,
+		procFinish: append([]float64(nil), s.procFinish...),
+		tasks:      append([]TaskPlacement(nil), s.tasks...),
+		dups:       append([]TaskPlacement(nil), s.dups...),
+	}
+	c.router = s.net.NewRouter(s.routeCache)
+	if s.tl != nil {
+		c.tl = make([]*linksched.Timeline, len(s.tl))
+		for i, tl := range s.tl {
+			c.tl[i] = tl.Clone()
+		}
+	}
+	if s.bw != nil {
+		c.bw = make([]*linksched.BWTimeline, len(s.bw))
+		for i, bw := range s.bw {
+			c.bw[i] = bw.Clone()
+		}
+	}
+	if s.ptl != nil {
+		c.ptl = make([]*linksched.Timeline, len(s.ptl))
+		for i, tl := range s.ptl {
+			if tl != nil {
+				c.ptl[i] = tl.Clone()
+			}
+		}
+	}
+	c.edges = make([]*EdgeSchedule, len(s.edges))
+	for i, es := range s.edges {
+		if es != nil {
+			c.edges[i] = es.clone()
+		}
+	}
+	return c
+}
+
+// clone deep-copies an edge schedule, including per-leg placements and
+// bandwidth chunks, so a forked state's optimal-insertion shifts never
+// write into the original's records.
+func (es *EdgeSchedule) clone() *EdgeSchedule {
+	cl := *es
+	cl.Route = append(network.Route(nil), es.Route...)
+	cl.Placements = make([]EdgePlacement, len(es.Placements))
+	for i, p := range es.Placements {
+		cl.Placements[i] = p
+		cl.Placements[i].Chunks = append([]linksched.Chunk(nil), p.Chunks...)
+	}
+	return &cl
+}
+
+// fork creates the worker replicas for parallel EFT probing. Called
+// once per Schedule run, before any task is placed.
+func (s *state) fork(workers int) {
+	if workers <= 1 {
+		return
+	}
+	s.forks = make([]*state, workers-1)
+	for i := range s.forks {
+		s.forks[i] = s.Clone()
+	}
+}
+
+// placeAndCommit places tid on proc in this state and every fork.
+// Replicas run concurrently; their placements are deterministic
+// functions of bit-identical states, so all replicas stay identical.
+func (s *state) placeAndCommit(tid dag.TaskID, proc network.NodeID) (float64, error) {
+	if len(s.forks) == 0 {
+		return s.placeTask(tid, proc)
+	}
+	var wg sync.WaitGroup
+	if cap(s.forkErrs) < len(s.forks) {
+		s.forkErrs = make([]error, len(s.forks))
+	}
+	errs := s.forkErrs[:len(s.forks)]
+	for i, f := range s.forks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = f.placeTask(tid, proc)
+		}()
+	}
+	finish, err := s.placeTask(tid, proc)
+	wg.Wait()
+	for _, e := range errs {
+		if err == nil && e != nil {
+			err = e
+		}
+	}
+	return finish, err
+}
+
+// probe tentatively places tid on proc inside a transaction and
+// returns the finish time it would achieve; the state is rolled back
+// either way.
+func (s *state) probe(tid dag.TaskID, proc network.NodeID) (float64, error) {
+	s.begin()
+	finish, err := s.placeTask(tid, proc)
+	s.rollback()
+	return finish, err
+}
+
+// probeLowerBound returns a provable lower bound on the finish time a
+// tentative placement of tid on p can achieve: the task cannot start
+// before its ready time, nor — under append placement, where the
+// processor clock only grows — before the processor's current finish,
+// and it must run for its full duration on p.
+func (s *state) probeLowerBound(tid dag.TaskID, p network.NodeID, ready float64) float64 {
+	start := ready
+	if s.opts.TaskPolicy == TaskAppend {
+		if f := s.procFinish[p]; f > start {
+			start = f
+		}
+	}
+	return start + s.g.Task(tid).Cost/s.net.Node(p).Speed
+}
+
+// probeError wraps a failed tentative placement with the processor it
+// failed on, so a sweep failure names the culprit instead of the bare
+// routing error.
+func (s *state) probeError(tid dag.TaskID, p network.NodeID, err error) error {
+	return fmt.Errorf("sched: EFT probe of task %d on processor %s (node %d): %w",
+		tid, s.net.Node(p).Name, p, err)
+}
+
+// selectByEFT tentatively schedules the task on every processor and
+// keeps the earliest finish (BA's policy). Three refinements over the
+// plain probe loop, none of which changes the selected processor:
+//
+//   - A pilot probe: the processor with the smallest finish lower
+//     bound is probed first and its achieved finish becomes the
+//     pruning bound.
+//   - Safe pruning: processors whose lower bound exceeds the pilot's
+//     finish by more than the fptime tolerance cannot win the fold and
+//     are skipped. The bound is deliberately NOT tightened with later
+//     probe results: a fixed bound makes the probed set — and the
+//     schedule — identical at every ProbeWorkers setting.
+//   - Parallel probing: surviving candidates are partitioned over the
+//     forked replicas and probed concurrently.
+//
+// The final fold scans processors in ID order keeping the earliest
+// finish beyond the fptime tolerance, so ties break to the lowest
+// processor ID exactly as in the sequential loop.
+func (s *state) selectByEFT(tid dag.TaskID) (network.NodeID, error) {
+	procs := s.net.Processors()
+	if len(procs) == 1 {
+		return procs[0], nil
+	}
+	ready := s.readyTime(tid)
+	s.eft.resize(len(procs))
+	lb, finish, errs, skip := s.eft.lb, s.eft.finish, s.eft.errs, s.eft.skip
+
+	pilot := 0
+	for i, p := range procs {
+		lb[i] = s.probeLowerBound(tid, p, ready)
+		// edgelint:ignore floateq — exact argmin, first-wins ties; any
+		// deterministic pilot is valid, its finish only prunes.
+		if lb[i] < lb[pilot] {
+			pilot = i
+		}
+	}
+	bound, err := s.probe(tid, procs[pilot])
+	if err != nil {
+		return -1, s.probeError(tid, procs[pilot], err)
+	}
+
+	cands := s.eft.cands
+	for i := range procs {
+		skip[i] = false
+		errs[i] = nil
+		if i == pilot {
+			continue
+		}
+		if fptime.LessEps(bound, lb[i]) {
+			// Even the lower bound loses to the pilot by more than the
+			// tolerance: the fold below could never pick this
+			// processor, so the probe is pure waste.
+			skip[i] = true
+			s.stats.pruned.Add(1)
+			continue
+		}
+		cands = append(cands, i)
+	}
+	s.eft.cands = cands
+	s.stats.probes.Add(int64(len(cands)) + 1)
+
+	if len(cands) > 0 {
+		workers := 1 + len(s.forks)
+		if workers > len(cands) {
+			workers = len(cands)
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st := s.forks[w-1]
+				for j := w; j < len(cands); j += workers {
+					i := cands[j]
+					finish[i], errs[i] = st.probe(tid, procs[i])
+				}
+			}()
+		}
+		for j := 0; j < len(cands); j += workers {
+			i := cands[j]
+			finish[i], errs[i] = s.probe(tid, procs[i])
+		}
+		wg.Wait()
+	}
+
+	for i, p := range procs {
+		if errs[i] != nil {
+			return -1, s.probeError(tid, p, errs[i])
+		}
+	}
+	best := network.NodeID(-1)
+	bestFinish := math.Inf(1)
+	for i, p := range procs {
+		var f float64
+		switch {
+		case i == pilot:
+			f = bound
+		case skip[i]:
+			continue
+		default:
+			f = finish[i]
+		}
+		if fptime.LessEps(f, bestFinish) {
+			bestFinish = f
+			best = p
+		}
+	}
+	return best, nil
+}

@@ -297,6 +297,13 @@ type Options struct {
 	// the predecessor is duplicated onto the destination processor and
 	// the communication is dropped. Requires TaskAppend placement.
 	Duplication bool
+	// ProbeWorkers bounds the goroutines evaluating earliest-finish
+	// processor candidates concurrently (ProcSelectEFT only): the
+	// scheduler state is forked into that many replicas and the
+	// candidate probes are partitioned among them. 0 uses GOMAXPROCS;
+	// 1 keeps the probes sequential on the primary state. Schedules
+	// are bit-identical at any setting — see fork.go.
+	ProbeWorkers int
 }
 
 // priorityOrder returns the task order selected by the options.
@@ -389,6 +396,22 @@ type state struct {
 	dups       []TaskPlacement // duplicated source tasks (Duplication)
 
 	tx *txn // active transaction, or nil
+
+	// router performs route searches with reused scratch buffers;
+	// routeCache memoizes the static BFS routes and is shared (it is
+	// concurrency-safe) with every fork of this state.
+	router     *network.Router
+	routeCache *network.RouteCache
+	stats      *probeStats // shared across forks, atomic
+
+	// forks are the worker replicas for parallel EFT probing (empty in
+	// sequential runs); forkErrs is their per-commit error scratch.
+	forks    []*state
+	forkErrs []error
+	eft      eftScratch
+
+	predBuf []dag.EdgeID // orderedPreds scratch
+	pktBuf  []float64    // placeEdgePackets scratch
 }
 
 // newState builds the mutable scheduling state for one run.
@@ -396,7 +419,9 @@ func newState(g *dag.Graph, net *network.Topology, opts Options) (*state, error)
 	if opts.Duplication && opts.TaskPolicy != TaskAppend {
 		return nil, fmt.Errorf("sched: duplication requires the append task policy")
 	}
-	s := &state{g: g, net: net, opts: opts, mls: net.MeanLinkSpeed()}
+	s := &state{g: g, net: net, opts: opts, mls: net.MeanLinkSpeed(), stats: &probeStats{}}
+	s.routeCache = network.NewRouteCache(0)
+	s.router = net.NewRouter(s.routeCache)
 	nl := net.NumLinks()
 	switch opts.Engine {
 	case EngineSlots, EnginePackets:
@@ -443,12 +468,15 @@ func (l *ListScheduler) Schedule(g *dag.Graph, net *network.Topology) (*Schedule
 	if err != nil {
 		return nil, err
 	}
+	if l.Opts.ProcSelect == ProcSelectEFT && net.NumProcessors() > 1 {
+		s.fork(probeWorkers(l.Opts))
+	}
 	for _, tid := range order {
 		proc, err := s.selectProcessor(tid)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := s.placeTask(tid, proc); err != nil {
+		if _, err := s.placeAndCommit(tid, proc); err != nil {
 			return nil, err
 		}
 	}
@@ -517,27 +545,6 @@ func (s *state) selectByEstimate(tid dag.TaskID, withComm bool) network.NodeID {
 		}
 	}
 	return best
-}
-
-// selectByEFT tentatively schedules the task on every processor and
-// keeps the earliest finish (BA). The tentative placements are rolled
-// back via the transaction journal.
-func (s *state) selectByEFT(tid dag.TaskID) (network.NodeID, error) {
-	best := network.NodeID(-1)
-	bestFinish := math.Inf(1)
-	for _, p := range s.net.Processors() {
-		s.begin()
-		finish, err := s.placeTask(tid, p)
-		s.rollback()
-		if err != nil {
-			return -1, err
-		}
-		if fptime.LessEps(finish, bestFinish) {
-			bestFinish = finish
-			best = p
-		}
-	}
-	return best, nil
 }
 
 // readyTime returns the time tid becomes ready: the latest finish of
@@ -640,10 +647,12 @@ func (s *state) tryDuplicate(eid dag.EdgeID, proc network.NodeID, base float64) 
 }
 
 // orderedPreds returns the incoming edge IDs of tid in the configured
-// scheduling order.
+// scheduling order. The returned slice is scratch owned by the state
+// and valid until the next call.
 func (s *state) orderedPreds(tid dag.TaskID) []dag.EdgeID {
 	in := s.g.Pred(tid)
-	out := append([]dag.EdgeID(nil), in...)
+	out := append(s.predBuf[:0], in...)
+	s.predBuf = out
 	switch s.opts.EdgeOrder {
 	case EdgeOrderFIFO:
 		// keep insertion order
@@ -709,10 +718,10 @@ func (s *state) scheduleEdge(eid dag.EdgeID, dstProc network.NodeID, base float6
 func (s *state) findRoute(e dag.Edge, src, dst network.NodeID, base float64) (network.Route, error) {
 	switch s.opts.Routing {
 	case RoutingBFS:
-		return s.net.BFSRoute(src, dst)
+		return s.router.BFSRoute(src, dst)
 	case RoutingDijkstra:
 		init := network.Label{Start: base, Finish: base}
-		route, _, err := s.net.DijkstraRoute(src, dst, init, s.relaxFunc(e))
+		route, _, err := s.router.DijkstraRoute(src, dst, init, s.relaxFunc(e))
 		return route, err
 	default:
 		return nil, fmt.Errorf("sched: unknown routing %v", s.opts.Routing)
@@ -848,8 +857,12 @@ func (s *state) placeEdgePackets(es *EdgeSchedule, e dag.Edge, base float64) {
 	if nPkts < 1 {
 		nPkts = 1
 	}
-	// prevFinish[p] is packet p's finish on the previous link.
-	prevFinish := make([]float64, nPkts)
+	// prevFinish[p] is packet p's finish on the previous link. The
+	// buffer is scratch owned by the state, reused across placements.
+	if cap(s.pktBuf) < nPkts {
+		s.pktBuf = make([]float64, nPkts)
+	}
+	prevFinish := s.pktBuf[:nPkts]
 	for p := range prevFinish {
 		prevFinish[p] = base
 	}

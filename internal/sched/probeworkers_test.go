@@ -1,0 +1,40 @@
+package sched_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+// TestScheduleBitIdenticalAcrossProbeWorkers runs the EFT scheduler at
+// several ProbeWorkers settings over seeded random instances and
+// requires byte-identical schedules: parallel probing is a pure
+// throughput knob, never a result knob.
+func TestScheduleBitIdenticalAcrossProbeWorkers(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    40,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
+		})
+		net := network.RandomCluster(r, network.RandomClusterParams{Processors: 8})
+
+		schedule := func(workers int) *sched.Schedule {
+			a := sched.NewBASinnen()
+			a.Opts.ProbeWorkers = workers
+			return mustSchedule(t, a, g, net)
+		}
+		base := schedule(1)
+		for _, workers := range []int{2, 8} {
+			got := schedule(workers)
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("seed %d: schedule at ProbeWorkers=%d differs from sequential", seed, workers)
+			}
+		}
+	}
+}
