@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint check bench bench-smoke
+.PHONY: build vet test race lint lint-self check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiment ./internal/sched
+	$(GO) test -race ./internal/experiment ./internal/sched ./internal/network ./internal/linksched
 
 lint:
 	$(GO) run ./cmd/edgelint ./...
+
+# lint-self runs the analyzers over their own implementation and the
+# driver, so the lint framework holds itself to the repo invariants.
+lint-self:
+	$(GO) run ./cmd/edgelint ./internal/lint/... ./cmd/edgelint
 
 # bench runs the full suite 5 times, writes the next BENCH_<n>.json
 # snapshot, and prints the delta against the previous one (~15 min).
@@ -28,4 +33,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
 # check mirrors the CI pipeline (.github/workflows/ci.yml).
-check: build vet test race lint
+check: build vet test race lint lint-self

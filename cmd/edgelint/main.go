@@ -3,10 +3,13 @@
 // mechanical form of the invariants the paper reproduction depends on
 // — over the given go package patterns (default ./...):
 //
+//	aliasret     methods on cloned/immutable types returning internal slices/maps
+//	clonecheck   Clone methods that shallow-copy reference-bearing fields
+//	errflow      dropped errors from this module's exported APIs
 //	floateq      bare float64 time/cost comparisons (use internal/fptime)
+//	immutable    writes to edgelint:immutable types outside their constructors
 //	seededrand   unseeded randomness and wall-clock time in libraries
 //	verifysched  test schedules that never pass through verify.Verify
-//	errflow      dropped errors from this module's exported APIs
 //
 // Usage:
 //
@@ -24,20 +27,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/aliasret"
+	"repro/internal/lint/clonecheck"
 	"repro/internal/lint/errflow"
 	"repro/internal/lint/floateq"
+	"repro/internal/lint/immutable"
 	"repro/internal/lint/seededrand"
 	"repro/internal/lint/verifysched"
 )
 
 // all is the suite, alphabetically.
 var all = []*lint.Analyzer{
+	aliasret.Analyzer,
+	clonecheck.Analyzer,
 	errflow.Analyzer,
 	floateq.Analyzer,
+	immutable.Analyzer,
 	seededrand.Analyzer,
 	verifysched.Analyzer,
 }
@@ -48,9 +58,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		listAnalyzers(os.Stdout)
 		return
 	}
 
@@ -75,6 +83,13 @@ func main() {
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "edgelint: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// listAnalyzers prints the registry, one analyzer per line.
+func listAnalyzers(w io.Writer) {
+	for _, a := range all {
+		fmt.Fprintf(w, "%-12s %s\n", a.Name, a.Doc)
 	}
 }
 

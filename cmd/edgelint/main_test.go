@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestRepoIsClean runs the whole suite over the repository itself: the
 // tree must stay free of findings (modulo justified edgelint:ignore
@@ -15,6 +18,37 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Error(d.String())
+	}
+}
+
+// TestListAnalyzers pins the -list output: every registered analyzer
+// appears on its own line, name first, with its one-line doc, in
+// alphabetical order.
+func TestListAnalyzers(t *testing.T) {
+	var b strings.Builder
+	listAnalyzers(&b)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != len(all) {
+		t.Fatalf("-list printed %d lines for %d analyzers:\n%s", len(lines), len(all), b.String())
+	}
+	prev := ""
+	for i, line := range lines {
+		a := all[i]
+		if !strings.HasPrefix(line, a.Name) {
+			t.Errorf("line %d = %q, want it to start with %q", i, line, a.Name)
+		}
+		if !strings.Contains(line, a.Doc) {
+			t.Errorf("line %d = %q does not include the doc %q", i, line, a.Doc)
+		}
+		if a.Name <= prev {
+			t.Errorf("registry out of alphabetical order: %q after %q", a.Name, prev)
+		}
+		prev = a.Name
+	}
+	for _, name := range []string{"clonecheck", "immutable", "aliasret"} {
+		if !strings.Contains(b.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
 	}
 }
 

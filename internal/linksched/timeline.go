@@ -54,6 +54,7 @@ func (t *Timeline) Len() int { return len(t.slots) }
 
 // Slots returns the occupied slots in start order. The slice is shared;
 // do not modify.
+// edgelint:ignore aliasret — read-only iteration accessor on the hot path
 func (t *Timeline) Slots() []Slot { return t.slots }
 
 // Request describes the placement constraints of one edge on one link,

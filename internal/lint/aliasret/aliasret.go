@@ -1,0 +1,180 @@
+// Package aliasret flags methods on clone-forked or immutable types
+// that return internal slices or maps without copying — the aliasing
+// leak that lets a caller mutate a cached route or a timeline behind
+// the owner's back. A type is in scope if it declares a Clone (or
+// clone) method or carries an edgelint:immutable marker; for its
+// methods, any return expression that is a selector/index chain rooted
+// at the receiver and whose type is a slice or map is reported.
+//
+// Accessors that intentionally expose internals for read-only
+// iteration (documented "shared; do not modify") suppress the finding
+// with an ignore directive:
+//
+//	// edgelint:ignore aliasret — read-only iteration accessor
+//	func (t *Timeline) Slots() []Slot { return t.slots }
+package aliasret
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "aliasret",
+	Doc:  "methods on cloned/immutable types returning internal slices or maps without copying",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	scope := scopedTypes(pass)
+	if len(scope) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			recv := lint.NamedOf(sig.Recv().Type())
+			if recv == nil || !scope[recv.Obj()] {
+				continue
+			}
+			recvObj := receiverObj(pass, fd)
+			if recvObj == nil {
+				continue
+			}
+			checkReturns(pass, fd, recv, recvObj)
+		}
+	}
+	return nil
+}
+
+// scopedTypes collects the package's types whose internals must not
+// leak: those with a Clone/clone method and those marked
+// edgelint:immutable.
+func scopedTypes(pass *lint.Pass) map[*types.TypeName]bool {
+	scope := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil || (d.Name.Name != "Clone" && d.Name.Name != "clone") {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := obj.Type().(*types.Signature)
+				if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+					continue
+				}
+				if recv := lint.NamedOf(sig.Recv().Type()); recv != nil {
+					scope[recv.Obj()] = true
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, s := range d.Specs {
+					ts, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if _, ok := lint.Directive(c.Text, "immutable"); ok {
+							if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+								scope[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return scope
+}
+
+// receiverObj resolves the receiver variable object of a method decl,
+// or nil for anonymous receivers.
+func receiverObj(pass *lint.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// checkReturns flags return expressions that alias the receiver's
+// internals. Returns inside nested function literals belong to the
+// closure, not the method, and are skipped.
+func checkReturns(pass *lint.Pass, fd *ast.FuncDecl, recv *types.Named, recvObj types.Object) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if !aliasesReceiver(pass, r, recvObj) {
+					continue
+				}
+				t := pass.TypesInfo.Types[r].Type
+				kind := "slice"
+				if _, ok := t.Underlying().(*types.Map); ok {
+					kind = "map"
+				}
+				pass.Reportf(r.Pos(),
+					"%s.%s returns an internal %s of the receiver without copying; copy it or annotate edgelint:ignore aliasret",
+					recv.Obj().Name(), fd.Name.Name, kind)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// aliasesReceiver reports whether e is a selector/index/deref chain
+// rooted at the receiver with slice or map type — a value sharing the
+// receiver's backing store.
+func aliasesReceiver(pass *lint.Pass, e ast.Expr, recvObj types.Object) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+	default:
+		return false
+	}
+	root, _ := lint.DecomposePath(pass.TypesInfo, e)
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj != recvObj {
+		return false
+	}
+	// A bare receiver of named-slice type returning itself (func (r
+	// Route) ...) — still an alias; selector/index chains and the
+	// receiver itself all qualify. Slicing expressions (e[a:b]) are
+	// not decomposed by DecomposePath and root != ident, handled
+	// above only when the chain is pure selector/index/deref.
+	return true
+}

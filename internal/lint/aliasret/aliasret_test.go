@@ -1,0 +1,12 @@
+package aliasret_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/aliasret"
+	"repro/internal/lint/linttest"
+)
+
+func TestAliasRet(t *testing.T) {
+	linttest.Run(t, aliasret.Analyzer, "a")
+}

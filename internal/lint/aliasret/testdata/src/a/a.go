@@ -1,0 +1,80 @@
+// Fixture for the aliasret analyzer: accessors on cloned and
+// immutable types that leak internal slices/maps, next to accessors
+// that copy or return values.
+package a
+
+// Box has a Clone method, so it is in scope.
+type Box struct {
+	items []int
+	index map[string]int
+	name  string
+}
+
+func (b *Box) Clone() *Box {
+	return &Box{
+		items: append([]int(nil), b.items...),
+		index: cloneMap(b.index),
+		name:  b.name,
+	}
+}
+
+func cloneMap(m map[string]int) map[string]int {
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func (b *Box) Items() []int {
+	return b.items // want "Box.Items returns an internal slice"
+}
+
+func (b *Box) Index() map[string]int {
+	return b.index // want "Box.Index returns an internal map"
+}
+
+// ItemsCopy returns a fresh copy: clean.
+func (b *Box) ItemsCopy() []int {
+	return append([]int(nil), b.items...)
+}
+
+// Name returns a string, which is a value: clean.
+func (b *Box) Name() string { return b.name }
+
+// Raw deliberately exposes the backing slice for read-only iteration.
+// edgelint:ignore aliasret — read-only iteration accessor, documented shared
+func (b *Box) Raw() []int { return b.items }
+
+// Grid is in scope through the immutable marker.
+// edgelint:immutable NewGrid — frozen after construction
+type Grid struct {
+	cells []int
+}
+
+func NewGrid(n int) *Grid { return &Grid{cells: make([]int, n)} }
+
+func (g *Grid) Cells() []int {
+	return g.cells // want "Grid.Cells returns an internal slice"
+}
+
+func (g *Grid) Row(i, w int) []int {
+	return g.cells[i*w : (i+1)*w] // want "Grid.Row returns an internal slice"
+}
+
+// Sum returns a scalar: clean.
+func (g *Grid) Sum() int {
+	s := 0
+	for _, c := range g.cells {
+		s += c
+	}
+	return s
+}
+
+// Loose has neither Clone nor a marker: out of scope, leaking is the
+// caller's problem.
+type Loose struct {
+	items []int
+}
+
+func (l *Loose) Items() []int { return l.items }

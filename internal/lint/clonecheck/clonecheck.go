@@ -1,0 +1,360 @@
+// Package clonecheck verifies that Clone methods deep-copy every
+// reference-bearing field of their type. Parallel EFT probing forks
+// scheduler state with Clone; a field added to the state but not to
+// Clone silently shares timelines or placement records across
+// goroutines, breaking the bit-identical-schedules guarantee in ways
+// no test catches until it does. This analyzer turns the convention
+// into a build failure.
+//
+// For every type in the package with a Clone (or clone) method of
+// signature func() *T or func() T, each field whose type carries
+// references (slice, map, pointer, chan, func, interface, or a
+// struct/array containing one) must end the method freshly allocated:
+// built by make/new/a composite literal/append-to-nil, delegated to
+// another Clone or constructor call, or left at its zero value.
+// Fields that are deliberately shared — immutable inputs, or
+// concurrency-safe structures — are exempted by annotating the field:
+//
+//	routeCache *network.RouteCache // edgelint:shared — concurrency-safe LRU
+//
+// A Clone whose construction the analyzer cannot follow (no composite
+// literal, new(T), or dereferencing copy of the receiver) is itself
+// reported, so the check fails loud rather than silently passing.
+package clonecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "clonecheck",
+	Doc:  "Clone methods that shallow-copy reference-bearing fields (annotate deliberate sharing with edgelint:shared)",
+	Run:  run,
+}
+
+// field copy status inside one Clone construction.
+const (
+	statusZero    = iota // absent from the literal: zero value, shares nothing
+	statusFresh          // freshly allocated / deep-copied
+	statusShallow        // aliases the receiver's value
+)
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Clone" && fd.Name.Name != "clone" {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				continue
+			}
+			recv := lint.NamedOf(sig.Recv().Type())
+			res := lint.NamedOf(sig.Results().At(0).Type())
+			if recv == nil || res == nil || recv.Obj() != res.Obj() {
+				continue
+			}
+			if recv.Obj().Pkg() != pass.Pkg {
+				continue
+			}
+			st, ok := recv.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			checkClone(pass, fd, recv, st)
+		}
+	}
+	return nil
+}
+
+// checkClone analyzes one Clone method body against the struct's
+// reference-bearing fields.
+func checkClone(pass *lint.Pass, fd *ast.FuncDecl, named *types.Named, st *types.Struct) {
+	refFields := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if lint.RefBearing(f.Type()) {
+			refFields[f.Name()] = true
+		}
+	}
+	if len(refFields) == 0 {
+		return
+	}
+	shared := sharedFields(pass, named)
+	fresh := lint.NewFreshness(pass.TypesInfo, fd.Body)
+
+	cons := findConstructions(pass, fd, named)
+	if len(cons) == 0 {
+		pass.Reportf(fd.Name.Pos(),
+			"cannot find how %s.%s builds its copy (expected a %s composite literal, new(%s), or a dereferencing copy of the receiver); restructure or annotate",
+			named.Obj().Name(), fd.Name.Name, named.Obj().Name(), named.Obj().Name())
+		return
+	}
+	for _, c := range cons {
+		checkConstruction(pass, fd, named, st, refFields, shared, fresh, c)
+	}
+}
+
+// construction is one place a Clone body builds the copy.
+type construction struct {
+	mode   int // conLit, conNew, conDeref
+	lit    *ast.CompositeLit
+	varObj types.Object // the clone variable, nil for a direct return
+	pos    token.Pos
+}
+
+const (
+	conLit = iota
+	conNew
+	conDeref
+)
+
+// findConstructions locates composite literals of the receiver type,
+// new(T) calls, and dereferencing copies of the receiver, together
+// with the local variable (if any) they are assigned to.
+func findConstructions(pass *lint.Pass, fd *ast.FuncDecl, named *types.Named) []construction {
+	var cons []construction
+	seen := map[*ast.CompositeLit]bool{}
+	classify := func(rhs ast.Expr) (int, *ast.CompositeLit, bool) {
+		e := ast.Unparen(rhs)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		switch e := e.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[e]; ok {
+				if n := lint.NamedOf(tv.Type); n != nil && n.Obj() == named.Obj() {
+					return conLit, e, true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+				if tv, ok := pass.TypesInfo.Types[ast.Unparen(rhs)]; ok {
+					if n := lint.NamedOf(tv.Type); n != nil && n.Obj() == named.Obj() {
+						return conNew, nil, true
+					}
+				}
+			}
+		case *ast.StarExpr:
+			if tv, ok := pass.TypesInfo.Types[e.X]; ok {
+				if n := lint.NamedOf(tv.Type); n != nil && n.Obj() == named.Obj() {
+					return conDeref, nil, true
+				}
+			}
+		}
+		return 0, nil, false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				mode, lit, ok := classify(rhs)
+				if !ok {
+					continue
+				}
+				id, isID := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !isID {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				cons = append(cons, construction{mode: mode, lit: lit, varObj: obj, pos: rhs.Pos()})
+				if lit != nil {
+					seen[lit] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mode, lit, ok := classify(r)
+				if !ok || (lit != nil && seen[lit]) {
+					continue
+				}
+				cons = append(cons, construction{mode: mode, lit: lit, pos: r.Pos()})
+				if lit != nil {
+					seen[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	return cons
+}
+
+// checkConstruction resolves the final copy status of every
+// reference-bearing field for one construction and reports the
+// shallow ones.
+func checkConstruction(pass *lint.Pass, fd *ast.FuncDecl, named *types.Named, st *types.Struct,
+	refFields, shared map[string]bool, fresh *lint.Freshness, c construction) {
+
+	status := map[string]int{}
+	pos := map[string]token.Pos{}
+	switch c.mode {
+	case conLit:
+		// Absent fields are zero-valued: safe by construction.
+		if len(c.lit.Elts) > 0 {
+			if _, keyed := c.lit.Elts[0].(*ast.KeyValueExpr); keyed {
+				for _, elt := range c.lit.Elts {
+					kv := elt.(*ast.KeyValueExpr)
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					setStatus(status, pos, key.Name, kv.Value, fresh)
+				}
+			} else {
+				for i, elt := range c.lit.Elts {
+					if i < st.NumFields() {
+						setStatus(status, pos, st.Field(i).Name(), elt, fresh)
+					}
+				}
+			}
+		}
+	case conDeref:
+		// A dereferencing copy starts every reference field shallow.
+		for name := range refFields {
+			status[name] = statusShallow
+			pos[name] = c.pos
+		}
+	case conNew:
+		// new(T): all fields zero, safe until assigned.
+	}
+
+	// Subsequent whole-field assignments through the clone variable
+	// override the construction-time status.
+	if c.varObj != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok == token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				base, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok || pass.TypesInfo.Uses[base] != c.varObj {
+					continue
+				}
+				if as.Pos() <= c.pos {
+					continue
+				}
+				setStatus(status, pos, sel.Sel.Name, as.Rhs[i], fresh)
+			}
+			return true
+		})
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		name := st.Field(i).Name()
+		if !refFields[name] || shared[name] {
+			continue
+		}
+		if status[name] != statusShallow {
+			continue
+		}
+		at := pos[name]
+		if at == token.NoPos {
+			at = c.pos
+		}
+		pass.Reportf(at,
+			"%s.%s shallow-copies reference field %s; deep-copy it or annotate the field with edgelint:shared",
+			named.Obj().Name(), fd.Name.Name, name)
+	}
+}
+
+func setStatus(status map[string]int, pos map[string]token.Pos, name string, rhs ast.Expr, fresh *lint.Freshness) {
+	if fresh.IsFresh(rhs) {
+		status[name] = statusFresh
+	} else {
+		status[name] = statusShallow
+	}
+	pos[name] = rhs.Pos()
+}
+
+// sharedFields collects the field names of named's struct declaration
+// annotated shared-by-design: an "edgelint:shared" directive on the
+// field's own doc or line comment marks that field; a directive on the
+// type's doc comment marks the fields it names as arguments.
+func sharedFields(pass *lint.Pass, named *types.Named) map[string]bool {
+	shared := map[string]bool{}
+	spec, structAST := findStructDecl(pass, named)
+	if spec == nil || structAST == nil {
+		return shared
+	}
+	if spec.Doc != nil {
+		for _, c := range spec.Doc.List {
+			if args, ok := lint.Directive(c.Text, "shared"); ok {
+				for _, a := range args {
+					shared[a] = true
+				}
+			}
+		}
+	}
+	for _, f := range structAST.Fields.List {
+		marked := false
+		for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if _, ok := lint.Directive(c.Text, "shared"); ok {
+					marked = true
+				}
+			}
+		}
+		if !marked {
+			continue
+		}
+		for _, name := range f.Names {
+			shared[name.Name] = true
+		}
+		if len(f.Names) == 0 { // embedded field
+			if n := lint.NamedOf(pass.TypesInfo.Types[f.Type].Type); n != nil {
+				shared[n.Obj().Name()] = true
+			}
+		}
+	}
+	return shared
+}
+
+// findStructDecl locates the AST type spec declaring named.
+func findStructDecl(pass *lint.Pass, named *types.Named) (*ast.TypeSpec, *ast.StructType) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok || pass.TypesInfo.Defs[ts.Name] != named.Obj() {
+					continue
+				}
+				st, _ := ts.Type.(*ast.StructType)
+				if ts.Doc == nil && gd.Doc != nil && len(gd.Specs) == 1 {
+					ts.Doc = gd.Doc
+				}
+				return ts, st
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package clonecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/clonecheck"
+	"repro/internal/lint/linttest"
+)
+
+func TestCloneCheck(t *testing.T) {
+	linttest.Run(t, clonecheck.Analyzer, "a")
+}

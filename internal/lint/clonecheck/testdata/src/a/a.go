@@ -1,0 +1,139 @@
+// Fixture for the clonecheck analyzer: one clean and one flagged case
+// per rule. The Leaky and DerefBad types are the "removed copy line"
+// shapes — deleting the deep-copy of a reference field must go red.
+package a
+
+// Tree deep-copies every reference field: composite literal with an
+// append-to-nil, a post-construction make+loop, and a delegated Clone.
+type Tree struct {
+	vals  []float64
+	name  string
+	meta  map[string]int
+	child *Tree
+}
+
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		vals: append([]float64(nil), t.vals...),
+		name: t.name,
+	}
+	c.meta = make(map[string]int, len(t.meta))
+	for k, v := range t.meta {
+		c.meta[k] = v
+	}
+	if t.child != nil {
+		c.child = t.child.Clone()
+	}
+	return c
+}
+
+// Leaky shallow-copies its reference fields in the literal — the bug
+// clonecheck exists to catch.
+type Leaky struct {
+	vals []float64
+	meta map[string]int
+	id   int
+}
+
+func (l *Leaky) Clone() *Leaky {
+	return &Leaky{
+		vals: l.vals, // want "Leaky.Clone shallow-copies reference field vals"
+		meta: l.meta, // want "Leaky.Clone shallow-copies reference field meta"
+		id:   l.id,
+	}
+}
+
+// DerefBad copies the receiver by dereference and never re-copies the
+// slice: every reference field starts shallow in a `cl := *d` clone.
+type DerefBad struct {
+	vals []float64
+	id   int
+}
+
+func (d *DerefBad) Clone() *DerefBad {
+	cl := *d // want "DerefBad.Clone shallow-copies reference field vals"
+	return &cl
+}
+
+// DerefGood re-copies the only reference field after the dereferencing
+// copy, the EdgeSchedule.clone idiom.
+type DerefGood struct {
+	vals []float64
+	id   int
+}
+
+func (d *DerefGood) Clone() *DerefGood {
+	cl := *d
+	cl.vals = append([]float64(nil), d.vals...)
+	return &cl
+}
+
+// Shared annotates a deliberately shared field; only the unannotated
+// one must be deep-copied.
+type Shared struct {
+	cache map[string]int // edgelint:shared — concurrency-safe, shared by design
+	vals  []float64
+}
+
+func (s *Shared) Clone() *Shared {
+	return &Shared{
+		cache: s.cache,
+		vals:  append([]float64(nil), s.vals...),
+	}
+}
+
+// Scratch omits its lazily rebuilt buffer from the literal: absent
+// fields are zero-valued and share nothing.
+type Scratch struct {
+	data []float64
+	buf  []float64
+}
+
+func (s *Scratch) Clone() *Scratch {
+	return &Scratch{data: append([]float64(nil), s.data...)}
+}
+
+// Fixup sets a field shallow in the literal but deep-copies it before
+// returning; the later assignment wins.
+type Fixup struct {
+	xs []int
+}
+
+func (f *Fixup) Clone() *Fixup {
+	c := &Fixup{xs: f.xs}
+	c.xs = append([]int(nil), f.xs...)
+	return c
+}
+
+// Val exercises value receiver and result.
+type Val struct {
+	xs []int
+}
+
+func (v Val) Clone() Val {
+	return Val{xs: v.xs} // want "Val.Clone shallow-copies reference field xs"
+}
+
+// Opaque builds its copy through a helper the analyzer cannot follow;
+// that is reported rather than silently passing.
+type Opaque struct {
+	vals []float64
+}
+
+func (o *Opaque) Clone() *Opaque { // want "cannot find how Opaque.Clone builds its copy"
+	return o.copyVia()
+}
+
+func (o *Opaque) copyVia() *Opaque { return o }
+
+// Hushed shares deliberately and suppresses both analyzers with one
+// comma-separated ignore directive (no want: the finding must be
+// filtered before expectation checking).
+type Hushed struct {
+	xs []int
+}
+
+func (h *Hushed) Clone() *Hushed {
+	// edgelint:ignore clonecheck,aliasret — intentional alias, exercised by tests
+	return &Hushed{xs: h.xs}
+}

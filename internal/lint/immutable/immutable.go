@@ -1,0 +1,179 @@
+// Package immutable enforces frozen-after-construction types. The
+// shared RouteCache behind parallel EFT probing is sound only because
+// network.Topology and the cached Route values are never written after
+// they are built; a stray store corrupts every fork at once. Types opt
+// in with a marker directive on their declaration naming the functions
+// allowed to write them:
+//
+//	// Topology is the static interconnect.
+//	// edgelint:immutable AddProcessor AddSwitch AddLink — frozen after construction
+//	type Topology struct { ... }
+//
+// Everywhere outside the listed constructors, the analyzer flags field
+// assignments, element stores, ++/--, copy destinations, and appends
+// that reach through a marked type. Writes rooted at a freshly
+// allocated local (a new value still under construction, as in a Clone
+// or a route builder) are permitted: immutability freezes values after
+// they escape, not while they are built.
+//
+// The marker is visible only within the declaring package (the
+// framework analyzes one package at a time and comments do not survive
+// export data), which matches how these types are protected anyway:
+// their fields are unexported, so cross-package writes cannot compile.
+package immutable
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "immutable",
+	Doc:  "writes to edgelint:immutable types outside their declared constructors",
+	Run:  run,
+}
+
+// marker is one edgelint:immutable declaration.
+type marker struct {
+	named *types.Named
+	ctors map[string]bool // function names allowed to write
+}
+
+func run(pass *lint.Pass) error {
+	markers := collectMarkers(pass)
+	if len(markers) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, markers, fd)
+		}
+	}
+	return nil
+}
+
+// collectMarkers finds edgelint:immutable directives on type
+// declarations in this package.
+func collectMarkers(pass *lint.Pass) map[*types.TypeName]*marker {
+	markers := map[*types.TypeName]*marker{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if doc == nil {
+					continue
+				}
+				var ctors []string
+				found := false
+				for _, c := range doc.List {
+					if args, ok := lint.Directive(c.Text, "immutable"); ok {
+						found = true
+						ctors = append(ctors, args...)
+					}
+				}
+				if !found {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				m := &marker{named: named, ctors: map[string]bool{}}
+				for _, c := range ctors {
+					m.ctors[c] = true
+				}
+				markers[obj] = m
+			}
+		}
+	}
+	return markers
+}
+
+// checkFunc flags writes through marked types in one function. A
+// function named in a type's constructor list may write that type;
+// closures inside it inherit the allowance (they are part of the
+// construction).
+func checkFunc(pass *lint.Pass, markers map[*types.TypeName]*marker, fd *ast.FuncDecl) {
+	fresh := lint.NewFreshness(pass.TypesInfo, fd.Body)
+	for _, w := range lint.Writes(pass.TypesInfo, fd.Body) {
+		root, owners := lint.DecomposePath(pass.TypesInfo, w.Expr)
+		// The written expression's own named type matters for appends
+		// and copies into a marked named slice (e.g. a cached Route).
+		if w.Kind == "append" || w.Kind == "copy" {
+			if t := exprType(pass, w.Expr); t != nil {
+				if n := lint.NamedOf(t); n != nil {
+					owners = append(owners, n)
+				}
+			}
+		}
+		for _, owner := range owners {
+			m := markers[owner.Obj()]
+			if m == nil {
+				continue
+			}
+			if m.ctors[fd.Name.Name] {
+				continue
+			}
+			if fresh.IsFresh(root) {
+				continue // still under construction
+			}
+			verb := map[string]string{
+				"assign": "assignment to", "incdec": "increment/decrement of",
+				"copy": "copy into", "append": "append through",
+			}[w.Kind]
+			allowed := "no declared constructors"
+			if len(m.ctors) > 0 {
+				names := make([]string, 0, len(m.ctors))
+				for n := range m.ctors {
+					names = append(names, n)
+				}
+				sortStrings(names)
+				allowed = "allowed writers: " + strings.Join(names, ", ")
+			}
+			pass.Reportf(w.Pos,
+				"%s %s, which is marked edgelint:immutable, outside its constructors (%s)",
+				verb, owner.Obj().Name(), allowed)
+			break
+		}
+	}
+}
+
+func exprType(pass *lint.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// sortStrings is an insertion sort; the ctor lists are tiny and this
+// avoids importing sort for one call.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package immutable_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/immutable"
+	"repro/internal/lint/linttest"
+)
+
+func TestImmutable(t *testing.T) {
+	linttest.Run(t, immutable.Analyzer, "a")
+}

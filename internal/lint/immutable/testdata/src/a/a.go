@@ -1,0 +1,77 @@
+// Fixture for the immutable analyzer: a marked struct with a
+// constructor allow-list, and a marked named slice with none.
+package a
+
+// Config is frozen after construction.
+// edgelint:immutable NewConfig AddRow — built by NewConfig/AddRow, then read-only
+type Config struct {
+	rows []int
+	name string
+}
+
+func NewConfig(n int) *Config {
+	c := &Config{}
+	c.rows = make([]int, 0, n) // clean: declared constructor
+	c.name = "config"
+	return c
+}
+
+func (c *Config) AddRow(v int) {
+	c.rows = append(c.rows, v) // clean: declared constructor
+}
+
+func (c *Config) Reset() {
+	c.rows = nil // want "assignment to Config"
+}
+
+func (c *Config) Bump() {
+	c.rows[0]++ // want "increment/decrement of Config"
+}
+
+func Mutate(c *Config) {
+	c.name = "x" // want "assignment to Config"
+}
+
+func CopyInto(c *Config, src []int) {
+	copy(c.rows, src) // want "copy into Config"
+}
+
+// Rebuild writes only through a freshly allocated local: values under
+// construction are not frozen yet.
+func Rebuild() *Config {
+	c := &Config{}
+	c.rows = append(c.rows, 1)
+	c.name = "rebuilt"
+	return c
+}
+
+// Route is a frozen named slice: cached values are shared, so element
+// stores and appends through the type are writes.
+// edgelint:immutable — cached route values are shared read-only
+type Route []int
+
+func Extend(r Route, v int) Route {
+	return append(r, v) // want "append through Route"
+}
+
+func Stamp(r Route) {
+	r[0] = 9 // want "assignment to Route"
+}
+
+// Build constructs a Route in a fresh local, the route-builder idiom.
+func Build(n int) Route {
+	route := make(Route, 0, n)
+	for i := 0; i < n; i++ {
+		route = append(route, i)
+	}
+	return route
+}
+
+// Plain is unmarked: writes anywhere are fine.
+type Plain struct {
+	rows []int
+}
+
+func (p *Plain) Set(v int) {
+	p.rows = append(p.rows, v)
+}

@@ -192,20 +192,16 @@ func filterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) [
 
 // parseIgnore extracts the analyzer names of an "edgelint:ignore"
 // directive, or nil if the comment is not one. Names run until the
-// end of the comment or an em/double dash starting a free-form reason.
+// end of the comment or an em/double dash starting a free-form reason,
+// and may be separated by spaces, commas, or both
+// ("clonecheck,immutable" and "clonecheck, immutable" are equivalent).
 func parseIgnore(comment string) []string {
-	text := strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*")
-	idx := strings.Index(text, "edgelint:ignore")
-	if idx < 0 {
+	args, ok := Directive(comment, "ignore")
+	if !ok {
 		return nil
 	}
-	rest := text[idx+len("edgelint:ignore"):]
 	var names []string
-	for _, f := range strings.Fields(rest) {
-		f = strings.Trim(f, ",")
-		if f == "—" || f == "--" || f == "-" {
-			break
-		}
+	for _, f := range args {
 		ok := f != ""
 		for _, r := range f {
 			if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
@@ -219,4 +215,32 @@ func parseIgnore(comment string) []string {
 		names = append(names, f)
 	}
 	return names
+}
+
+// Directive parses an "edgelint:<name>" directive comment and returns
+// its arguments: comma- or space-separated tokens running until the
+// end of the comment or an em/double dash that starts a free-form
+// reason. The second result is false if the comment does not contain
+// the directive at all; a bare directive yields (nil, true).
+func Directive(comment, name string) ([]string, bool) {
+	text := strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*")
+	marker := "edgelint:" + name
+	idx := strings.Index(text, marker)
+	if idx < 0 {
+		return nil, false
+	}
+	rest := text[idx+len(marker):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != ',' {
+		// "edgelint:ignorex" is not "edgelint:ignore".
+		return nil, false
+	}
+	rest = strings.ReplaceAll(rest, ",", " ")
+	var args []string
+	for _, f := range strings.Fields(rest) {
+		if f == "—" || f == "--" || f == "-" {
+			break
+		}
+		args = append(args, f)
+	}
+	return args, true
 }

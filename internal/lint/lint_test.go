@@ -16,10 +16,39 @@ func TestParseIgnore(t *testing.T) {
 		{"// edgelint:ignore all — generated file", []string{"all"}},
 		{"// plain comment", nil},
 		{"/* edgelint:ignore seededrand — block form */", []string{"seededrand"}},
+		{"// edgelint:ignore clonecheck,immutable — comma-joined multi-analyzer", []string{"clonecheck", "immutable"}},
+		{"// edgelint:ignore clonecheck,immutable,aliasret -- three at once", []string{"clonecheck", "immutable", "aliasret"}},
+		{"// edgelint:ignore", nil},
+		{"// edgelint:ignorenothing — different directive", nil},
 	}
 	for _, c := range cases {
 		if got := parseIgnore(c.comment); !reflect.DeepEqual(got, c.want) {
 			t.Errorf("parseIgnore(%q) = %v, want %v", c.comment, got, c.want)
+		}
+	}
+}
+
+func TestDirective(t *testing.T) {
+	cases := []struct {
+		comment string
+		name    string
+		args    []string
+		found   bool
+	}{
+		{"// edgelint:immutable AddTask AddEdge — frozen", "immutable", []string{"AddTask", "AddEdge"}, true},
+		{"// edgelint:immutable — no constructors", "immutable", nil, true},
+		{"// edgelint:immutable", "immutable", nil, true},
+		{"// edgelint:shared routeCache — concurrency-safe", "shared", []string{"routeCache"}, true},
+		{"// edgelint:shared — concurrency-safe", "shared", nil, true},
+		{"// edgelint:sharedX — boundary must hold", "shared", nil, false},
+		{"// a plain comment mentioning edgelint", "shared", nil, false},
+		{"/* edgelint:immutable A,B — block, commas */", "immutable", []string{"A", "B"}, true},
+	}
+	for _, c := range cases {
+		args, found := Directive(c.comment, c.name)
+		if found != c.found || !reflect.DeepEqual(args, c.args) {
+			t.Errorf("Directive(%q, %q) = %v, %v; want %v, %v",
+				c.comment, c.name, args, found, c.args, c.found)
 		}
 	}
 }

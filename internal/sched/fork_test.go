@@ -144,6 +144,69 @@ func TestClonePlacementEqualsTxnProbe(t *testing.T) {
 	}
 }
 
+// TestCloneIndependence drives a cloned state through a full schedule
+// while the original sits untouched, then the reverse — the dynamic
+// ground truth the clonecheck analyzer mirrors statically. Every
+// engine/policy combination is covered so all timeline variants (slot,
+// bandwidth, packet, processor-insertion) prove their deep copies.
+func TestCloneIndependence(t *testing.T) {
+	for name, opts := range forkOptionSets() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			g, net := forkInstance(7)
+			s := mkState(t, g, net, opts)
+			order, err := g.PriorityOrder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Place the first half on the original so the clone starts
+			// from a non-trivial state.
+			half := order[:len(order)/2]
+			for _, tid := range half {
+				proc, err := s.selectProcessor(tid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.placeTask(tid, proc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := captureSnap(s)
+			c := s.Clone()
+
+			// Run the clone to completion; the original must not move.
+			for _, tid := range order[len(order)/2:] {
+				proc, err := c.selectProcessor(tid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.placeTask(tid, proc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if after := captureSnap(s); !snapsEqual(before, after) {
+				t.Fatalf("%s: completing a cloned schedule mutated the original state", name)
+			}
+
+			// And the reverse: mutating the original must not reach the
+			// (already completed) clone.
+			cb := captureSnap(c)
+			for _, tid := range order[len(order)/2:] {
+				proc, err := s.selectProcessor(tid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.placeTask(tid, proc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := captureSnap(c); !snapsEqual(cb, got) {
+				t.Fatalf("%s: completing the original schedule mutated its clone", name)
+			}
+		})
+	}
+}
+
 func TestCloneInsideTxnPanics(t *testing.T) {
 	g, net := forkInstance(1)
 	s := mkState(t, g, net, Options{})

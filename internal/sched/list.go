@@ -381,8 +381,8 @@ func (l *ListScheduler) Name() string { return l.AlgorithmName }
 
 // state carries all mutable data of one scheduling run.
 type state struct {
-	g    *dag.Graph
-	net  *network.Topology
+	g    *dag.Graph        // edgelint:shared — immutable input, frozen after construction
+	net  *network.Topology // edgelint:shared — immutable input, frozen after construction
 	opts Options
 
 	tl  []*linksched.Timeline   // per link, slots engine
@@ -401,8 +401,8 @@ type state struct {
 	// routeCache memoizes the static BFS routes and is shared (it is
 	// concurrency-safe) with every fork of this state.
 	router     *network.Router
-	routeCache *network.RouteCache
-	stats      *probeStats // shared across forks, atomic
+	routeCache *network.RouteCache // edgelint:shared — concurrency-safe LRU, shared with forks
+	stats      *probeStats         // edgelint:shared — shared across forks, atomic
 
 	// forks are the worker replicas for parallel EFT probing (empty in
 	// sequential runs); forkErrs is their per-commit error scratch.
