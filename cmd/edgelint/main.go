@@ -3,13 +3,15 @@
 // mechanical form of the invariants the paper reproduction depends on
 // — over the given go package patterns (default ./...):
 //
-//	aliasret     methods on cloned/immutable types returning internal slices/maps
-//	clonecheck   Clone methods that shallow-copy reference-bearing fields
-//	errflow      dropped errors from this module's exported APIs
-//	floateq      bare float64 time/cost comparisons (use internal/fptime)
-//	immutable    writes to edgelint:immutable types outside their constructors
-//	seededrand   unseeded randomness and wall-clock time in libraries
-//	verifysched  test schedules that never pass through verify.Verify
+//	aliasret      methods on cloned/immutable types returning internal slices/maps
+//	clonecheck    Clone methods that shallow-copy reference-bearing fields
+//	errflow       dropped errors from this module's exported APIs
+//	floateq       bare float64 time/cost comparisons (use internal/fptime)
+//	immutable     writes to edgelint:immutable types outside their constructors
+//	routerconfine *network.Router values crossing goroutine boundaries
+//	seededrand    unseeded randomness and wall-clock time in libraries
+//	txnjournal    un-journaled stores to transactional scheduler state
+//	verifysched   test schedules that never pass through verify.Verify
 //
 // Usage:
 //
@@ -37,7 +39,9 @@ import (
 	"repro/internal/lint/errflow"
 	"repro/internal/lint/floateq"
 	"repro/internal/lint/immutable"
+	"repro/internal/lint/routerconfine"
 	"repro/internal/lint/seededrand"
+	"repro/internal/lint/txnjournal"
 	"repro/internal/lint/verifysched"
 )
 
@@ -48,7 +52,9 @@ var all = []*lint.Analyzer{
 	errflow.Analyzer,
 	floateq.Analyzer,
 	immutable.Analyzer,
+	routerconfine.Analyzer,
 	seededrand.Analyzer,
+	txnjournal.Analyzer,
 	verifysched.Analyzer,
 }
 

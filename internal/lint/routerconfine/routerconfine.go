@@ -1,0 +1,243 @@
+// Package routerconfine enforces the ownership discipline of
+// network.Router: a Router carries mutable scratch buffers and is NOT
+// safe for concurrent use, so the only sound pattern is per-goroutine
+// ownership — each fork of the scheduler state creates its own Router
+// (see fork.go's Clone). The analyzer flags every construct that lets
+// a *Router cross a goroutine boundary: capture by a go statement,
+// channel send, aliasing stores into structs or collections, and
+// escapes into interface values (where tracking ends). Exclusive
+// handoffs (e.g. a sync.Pool that guarantees a single owner) are
+// legitimate and should carry an `edgelint:ignore routerconfine`
+// annotation explaining why.
+package routerconfine
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags *network.Router values crossing goroutine boundaries.
+var Analyzer = &lint.Analyzer{
+	Name: "routerconfine",
+	Doc: "network.Router is not concurrency-safe: each goroutine must own " +
+		"its own Router (the per-fork pattern in internal/sched/fork.go). " +
+		"Flags Routers captured by go statements, sent on channels, stored " +
+		"into structs, collections or package-level variables by aliasing, " +
+		"or escaping into interface values. Annotate deliberate exclusive " +
+		"handoffs with `edgelint:ignore routerconfine — reason`.",
+	Run: run,
+}
+
+// isRouterType reports whether t is network.Router or a pointer to it.
+func isRouterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n := lint.NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Router" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/network")
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+		// Package-level variable initializers aliasing a Router.
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if isRouterType(info.TypeOf(v)) {
+						checkCompositeEscape(pass, nil, v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	fresh := lint.NewFreshness(info, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			checkGoCapture(pass, n)
+		case *ast.SendStmt:
+			if isRouterType(info.TypeOf(n.Value)) {
+				pass.Reportf(n.Value.Pos(),
+					"*network.Router sent on a channel: a Router is not concurrency-safe; "+
+						"create one per goroutine (NewRouter) instead of sharing")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // x, y := f() — call results are fresh
+				}
+				checkAliasingStore(pass, fresh, n.Tok, lhs, n.Rhs[i])
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isRouterType(info.TypeOf(v)) && !fresh.IsFresh(v) {
+					pass.Reportf(v.Pos(),
+						"*network.Router aliased into a composite literal: the literal may outlive "+
+							"or be shared beyond the Router's owning goroutine; create a dedicated Router")
+				}
+			}
+		case *ast.CallExpr:
+			checkInterfaceEscape(pass, n)
+		}
+		return true
+	})
+}
+
+// checkGoCapture flags identifiers of Router type referenced inside a
+// go statement but defined outside it: the spawned goroutine would
+// share the outer goroutine's Router.
+func checkGoCapture(pass *lint.Pass, g *ast.GoStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !isRouterType(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= g.Pos() && obj.Pos() < g.End() {
+			return true // defined inside the goroutine: owned by it
+		}
+		pass.Reportf(id.Pos(),
+			"*network.Router %s crosses into a goroutine: a Router is not concurrency-safe; "+
+				"create one per goroutine with NewRouter (per-fork ownership, see sched/fork.go)", id.Name)
+		return true
+	})
+}
+
+// checkAliasingStore flags assignments that store an existing (non-
+// fresh) Router into a struct field, collection element, or package-
+// level variable — any location other goroutines could read it from.
+func checkAliasingStore(pass *lint.Pass, fresh *lint.Freshness, tok token.Token, lhs, rhs ast.Expr) {
+	info := pass.TypesInfo
+	if !isRouterType(info.TypeOf(rhs)) {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if fresh.IsFresh(rhs) {
+			return // NewRouter(...) results and nil are owned by the storer
+		}
+		pass.Reportf(lhs.Pos(),
+			"existing *network.Router aliased into shared storage: two owners of one Router race "+
+				"on its scratch buffers; store a fresh NewRouter result instead")
+	case *ast.Ident:
+		if tok == token.DEFINE {
+			return
+		}
+		// A global Router is shared even when freshly built: every
+		// goroutine can reach a package-level variable.
+		if obj, ok := info.Uses[l].(*types.Var); ok && obj.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(),
+				"*network.Router stored in package-level variable %s: globals are visible to "+
+					"every goroutine; Routers must stay goroutine-local", l.Name)
+		}
+	}
+}
+
+// checkInterfaceEscape flags passing a *Router as an interface-typed
+// argument: once behind an interface (sync.Pool.Put, fmt args, ...)
+// ownership can no longer be tracked.
+func checkInterfaceEscape(pass *lint.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: any(r) and friends.
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if isRouterType(info.TypeOf(call.Args[0])) {
+				pass.Reportf(call.Args[0].Pos(),
+					"*network.Router converted to an interface value: ownership can no longer be "+
+						"tracked; keep Routers goroutine-local or annotate the exclusive handoff")
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if !isRouterType(info.TypeOf(arg)) {
+			continue
+		}
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); isIface {
+			pass.Reportf(arg.Pos(),
+				"*network.Router passed as interface-typed argument: ownership can no longer be "+
+					"tracked; keep Routers goroutine-local or annotate the exclusive handoff")
+		}
+	}
+}
+
+// paramType returns the type of parameter i, accounting for variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	np := sig.Params().Len()
+	if np == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= np-1 {
+		last := sig.Params().At(np - 1).Type()
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= np {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// checkCompositeEscape flags package-level initializers aliasing a
+// Router (fresh is nil at package scope: only calls/literals are safe).
+func checkCompositeEscape(pass *lint.Pass, _ *lint.Freshness, v ast.Expr) {
+	switch ast.Unparen(v).(type) {
+	case *ast.CallExpr, *ast.CompositeLit:
+		return
+	}
+	pass.Reportf(v.Pos(),
+		"*network.Router stored in a package-level variable: globals are visible to every "+
+			"goroutine; Routers must stay goroutine-local")
+}

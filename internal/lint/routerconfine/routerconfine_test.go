@@ -1,0 +1,12 @@
+package routerconfine_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/routerconfine"
+)
+
+func TestRouterConfine(t *testing.T) {
+	linttest.Run(t, routerconfine.Analyzer, "a")
+}

@@ -1,0 +1,83 @@
+// Fixture for the routerconfine analyzer: ways a *network.Router can
+// (and cannot) cross a goroutine boundary.
+package a
+
+import "repro/internal/network"
+
+type holder struct {
+	router *network.Router
+}
+
+type pool interface {
+	Put(x any)
+}
+
+var topo = &network.Topology{}
+
+// goodPerGoroutine creates one Router per goroutine: the ownership
+// pattern the analyzer exists to protect.
+func goodPerGoroutine() {
+	for i := 0; i < 4; i++ {
+		go func() {
+			r := topo.NewRouter(nil)
+			_, _ = r.BFSRoute(0, 1)
+		}()
+	}
+}
+
+// badCapture shares the outer goroutine's Router with a spawned one.
+func badCapture() {
+	r := topo.NewRouter(nil)
+	go func() {
+		_, _ = r.BFSRoute(0, 1) // want "crosses into a goroutine"
+	}()
+	_, _ = r.BFSRoute(2, 3)
+}
+
+// badChannelSend hands a Router to whoever receives.
+func badChannelSend(ch chan *network.Router) {
+	r := topo.NewRouter(nil)
+	ch <- r // want "sent on a channel"
+}
+
+// badAliasStore stores an existing Router into a struct another
+// goroutine could read; storing a fresh one is fine.
+func badAliasStore(h *holder, src *holder) {
+	h.router = topo.NewRouter(nil) // fresh: owned by h
+	h.router = src.router          // want "aliased into shared storage"
+}
+
+// badCompositeAlias smuggles an existing Router through a literal.
+func badCompositeAlias(r *network.Router) holder {
+	return holder{router: r} // want "aliased into a composite literal"
+}
+
+// badInterfaceEscape loses track of ownership behind an interface —
+// the sync.Pool handoff shape; deliberate exclusive handoffs carry an
+// annotation instead.
+func badInterfaceEscape(p pool) {
+	r := topo.NewRouter(nil)
+	p.Put(r) // want "passed as interface-typed argument"
+}
+
+// annotatedHandoff is the sanctioned form of the same shape.
+func annotatedHandoff(p pool) {
+	r := topo.NewRouter(nil)
+	p.Put(r) // edgelint:ignore routerconfine — fixture: exclusive handoff, single owner by contract
+}
+
+// badGlobalStore parks a Router where every goroutine can see it.
+var sharedRouter *network.Router
+
+func badGlobalStore() {
+	r := topo.NewRouter(nil)
+	sharedRouter = r // want "package-level variable"
+}
+
+// goodLocalUse keeps the Router confined to one goroutine.
+func goodLocalUse() {
+	r := topo.NewRouter(nil)
+	_, _ = r.BFSRoute(0, 1)
+	r2 := r // plain local copy stays in this goroutine
+	_, _ = r2.BFSRoute(1, 2)
+}

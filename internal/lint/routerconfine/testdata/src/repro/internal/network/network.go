@@ -1,0 +1,19 @@
+// Stub of repro/internal/network for the routerconfine fixtures: just
+// enough surface for a Router to be created, shared and smuggled.
+package network
+
+type NodeID int
+
+type Route []int
+
+type RouteCache struct{}
+
+type Router struct {
+	visited []bool
+}
+
+type Topology struct{}
+
+func (t *Topology) NewRouter(cache *RouteCache) *Router { return &Router{} }
+
+func (r *Router) BFSRoute(src, dst NodeID) (Route, error) { return nil, nil }

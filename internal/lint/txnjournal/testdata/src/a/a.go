@@ -1,0 +1,132 @@
+// Fixture for the txnjournal analyzer: a miniature of the scheduler's
+// transactional state with journaled fields, journal primitives, and a
+// placeTask root. Stores reachable from placeTask must be dominated by
+// the matching journal call.
+package a
+
+type TaskID int
+type NodeID int
+type EdgeID int
+type LinkID int
+
+type Timeline struct{ slots []float64 }
+
+func (t *Timeline) InsertBasic(x float64) float64 { return x }
+func (t *Timeline) ProbeBasic(x float64) float64  { return x }
+func (t *Timeline) Snapshot() []float64           { return nil }
+
+type EdgeSchedule struct {
+	Start, Finish float64
+	Placements    []float64
+}
+
+type state struct {
+	tasks      []float64
+	procFinish []float64
+	edges      []*EdgeSchedule
+	tl         []*Timeline
+	bw         []*Timeline
+	ptl        []*Timeline
+	dups       []float64
+	scratch    []float64 // not journaled
+}
+
+func (s *state) touchTask(id TaskID)          {}
+func (s *state) touchProc(id NodeID)          {}
+func (s *state) touchEdge(id EdgeID)          {}
+func (s *state) touchTimeline(id LinkID)      {}
+func (s *state) touchBWTimeline(id LinkID)    {}
+func (s *state) touchProcTimeline(id NodeID)  {}
+func (s *state) touchDup()                    {}
+func (s *state) cowEdge(id EdgeID) *EdgeSchedule {
+	return s.edges[id]
+}
+
+func (s *state) placeTask(tid TaskID, proc NodeID, cond bool) {
+	// Dominated store: journal call precedes at the same nesting level.
+	s.touchTask(tid)
+	s.tasks[tid] = 1
+
+	// Journal at outer level dominates a store in a nested branch.
+	s.touchProc(proc)
+	if cond {
+		s.procFinish[proc] = 2
+	}
+
+	// Un-journaled store (no touchEdge anywhere before).
+	s.edges[0] = nil // want "store to journaled field state.edges is not dominated"
+
+	// Journal in one branch does not dominate a store after the if.
+	if cond {
+		s.touchTimeline(0)
+	}
+	s.tl[0].InsertBasic(1) // want "mutating call InsertBasic on journaled field state.tl is not dominated"
+
+	// Read-only calls need no journal.
+	_ = s.tl[0].ProbeBasic(1)
+	_ = s.tl[0].Snapshot()
+
+	// Non-journaled fields need no journal.
+	s.scratch = append(s.scratch, 1)
+
+	// Store textually before its journal call inside a loop: the first
+	// iteration runs un-journaled.
+	for i := 0; i < 2; i++ {
+		s.dups = append(s.dups, 1) // want "journaled field state.dups is not dominated"
+		s.touchDup()
+	}
+
+	s.helper(proc)
+	s.aliasing(0)
+	s.cowPattern(0)
+	s.elseBranch(cond)
+	s.ignored(proc)
+}
+
+// helper is reachable from placeTask: its stores are checked.
+func (s *state) helper(proc NodeID) {
+	s.touchProc(proc)
+	s.procFinish[proc] = 3
+	s.ptl[proc].InsertBasic(4) // want "mutating call InsertBasic on journaled field state.ptl is not dominated"
+}
+
+// aliasing mutates through a pointer read straight off the live edges
+// slice: rollback restores the slice entry, not the pointee.
+func (s *state) aliasing(id EdgeID) {
+	s.touchEdge(id)
+	es := s.edges[id]
+	es.Start = 5 // want "store through \\*EdgeSchedule aliasing state.edges"
+}
+
+// cowPattern obtains the schedule from cowEdge, which journals and
+// clones; mutating the clone is safe.
+func (s *state) cowPattern(id EdgeID) {
+	es := s.edges[id]
+	es = s.cowEdge(id)
+	es.Start = 6
+	fresh := &EdgeSchedule{}
+	fresh.Finish = 7 // fresh allocation: not yet reachable from state
+}
+
+// elseBranch journals in the then-arm only: the else-arm store is not
+// dominated.
+func (s *state) elseBranch(cond bool) {
+	if cond {
+		s.touchBWTimeline(0)
+		s.bw[0].InsertBasic(8)
+	} else {
+		s.bw[0].InsertBasic(9) // want "mutating call InsertBasic on journaled field state.bw is not dominated"
+	}
+}
+
+// ignored demonstrates the escape hatch.
+func (s *state) ignored(proc NodeID) {
+	s.procFinish[proc] = 10 // edgelint:ignore txnjournal — fixture: deliberate un-journaled store
+}
+
+// unreachable is never called from placeTask: its stores are out of
+// the transactional call graph and not checked.
+func (s *state) unreachable() {
+	s.tasks[0] = 11
+	s.edges[0] = nil
+}

@@ -1,0 +1,466 @@
+// Package txnjournal enforces the copy-on-write transaction-journal
+// discipline of the scheduler's probe rollback (internal/sched/txn.go):
+// within the call graph reachable from placeTask, every store to a
+// journaled state field must be dominated by the matching journal call
+// on the same receiver, or rollback silently restores stale values —
+// the silent-rollback hole this analyzer exists to close.
+package txnjournal
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags un-journaled stores to transactional scheduler state.
+var Analyzer = &lint.Analyzer{
+	Name: "txnjournal",
+	Doc: "Within the call graph reachable from a placeTask method, every " +
+		"store to a journaled state field (tasks, procFinish, edges, tl, bw, " +
+		"ptl, dups) — field assignment, element store, append, mutating " +
+		"method call, or mutation through an aliased *EdgeSchedule — must be " +
+		"dominated by the matching touchTask/touchProc/touchEdge/cowEdge/" +
+		"touchTimeline/touchBWTimeline/touchProcTimeline/touchDup call on the " +
+		"same receiver. Un-journaled stores survive rollback and corrupt " +
+		"every later probe. Suppress intentional exceptions with " +
+		"`edgelint:ignore txnjournal — reason`.",
+	Run: run,
+}
+
+// journalFor maps each journaled field of the transactional state type
+// to the journal calls that cover a store through it. The table mirrors
+// the txn struct in internal/sched/txn.go.
+var journalFor = map[string][]string{
+	"tasks":      {"touchTask"},
+	"procFinish": {"touchProc"},
+	"edges":      {"touchEdge", "cowEdge"},
+	"tl":         {"touchTimeline"},
+	"bw":         {"touchBWTimeline"},
+	"ptl":        {"touchProcTimeline"},
+	"dups":       {"touchDup"},
+}
+
+// kernel names the journal primitives themselves: their bodies perform
+// the journaled (and the restoring) stores and are trusted, and calls
+// into them are never followed for reachability.
+var kernel = map[string]bool{
+	"touchTask": true, "touchProc": true, "touchEdge": true, "cowEdge": true,
+	"touchTimeline": true, "touchBWTimeline": true, "touchProcTimeline": true,
+	"touchDup": true, "begin": true, "rollback": true,
+}
+
+// readOnlyPrefixes classifies method calls on journaled timeline fields
+// that inspect without mutating (probes, estimates, snapshots, sizes).
+// Any other method name on a journaled field counts as a store.
+var readOnlyPrefixes = []string{
+	"Probe", "Estimate", "Snapshot", "Clone", "Num", "Len",
+	"Slots", "Segments", "Last", "Util", "Valid", "String",
+}
+
+func readOnly(name string) bool {
+	for _, p := range readOnlyPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	// Index every function declaration and find the placeTask roots.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fd.Recv != nil && fd.Name.Name == "placeTask" {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reported := map[lineKey]bool{}
+	for _, root := range roots {
+		sig, ok := root.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		stateNamed := lint.NamedOf(sig.Recv().Type())
+		if stateNamed == nil {
+			continue
+		}
+		for _, fn := range reachable(pass.TypesInfo, decls, root) {
+			checkFunc(pass, stateNamed, decls[fn], reported)
+		}
+	}
+	return nil
+}
+
+// reachable returns the in-package functions reachable from root by
+// direct calls, excluding the journal kernel.
+func reachable(info *types.Info, decls map[*types.Func]*ast.FuncDecl, root *types.Func) []*types.Func {
+	seen := map[*types.Func]bool{root: true}
+	order := []*types.Func{root}
+	for i := 0; i < len(order); i++ {
+		fd := decls[order[i]]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lint.CalleeFunc(info, call)
+			if callee == nil || seen[callee] || kernel[callee.Name()] {
+				return true
+			}
+			if decls[callee] == nil {
+				return true // other package, or no body in this unit
+			}
+			seen[callee] = true
+			order = append(order, callee)
+			return true
+		})
+	}
+	return order
+}
+
+// lineKey dedups diagnostics: one report per file line and field.
+type lineKey struct {
+	file  string
+	line  int
+	field string
+}
+
+// event is a journal call or a store, located by position and by its
+// chain of enclosing branch scopes.
+type event struct {
+	pos   token.Pos
+	chain []ast.Node   // innermost-last branch scopes enclosing the event
+	recv  types.Object // root receiver variable (the state value)
+	name  string       // journal events: the journal method's name
+	field string       // store events: the journaled field written
+	desc  string       // store events: diagnostic phrasing of the store
+}
+
+// checkFunc verifies one reachable function: every store through a
+// journaled field of stateNamed must be dominated — same receiver,
+// earlier position, enclosing branch chain a prefix of the store's —
+// by a covering journal call.
+func checkFunc(pass *lint.Pass, stateNamed *types.Named, fd *ast.FuncDecl, reported map[lineKey]bool) {
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	info := pass.TypesInfo
+	fresh := lint.NewFreshness(info, fd.Body)
+	esPtr := edgeElemType(stateNamed)
+
+	var journals, stores []event
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		chain := branchChain(stack[:len(stack)-1])
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				// Builtin append/copy stores are collected below.
+				if w := builtinStore(info, n); w != nil {
+					if ev, ok := storeEvent(info, stateNamed, w, "append to"); ok {
+						ev.chain = chain
+						stores = append(stores, ev)
+					}
+				}
+				return true
+			}
+			name := sel.Sel.Name
+			if _, isJournal := kernel[name]; isJournal && name != "begin" && name != "rollback" {
+				if field, root := stateField(info, stateNamed, sel.X); field == "" && root != nil {
+					// Plain receiver (s.touchTask): record a journal event.
+					if obj := identObj(info, root); obj != nil {
+						journals = append(journals, event{pos: n.Pos(), chain: chain, recv: obj, name: name})
+					}
+				}
+				return true
+			}
+			if readOnly(name) {
+				return true
+			}
+			if field, root := stateField(info, stateNamed, sel.X); field != "" && journalFor[field] != nil && root != nil {
+				if obj := identObj(info, root); obj != nil {
+					stores = append(stores, event{
+						pos: n.Pos(), chain: chain, recv: obj, field: field,
+						desc: "mutating call " + name + " on",
+					})
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if ev, ok := storeEvent(info, stateNamed, lhs, "store to"); ok {
+					ev.chain = chain
+					stores = append(stores, ev)
+					continue
+				}
+				checkAliasStore(pass, stateNamed, esPtr, fresh, lhs, reported)
+			}
+		case *ast.IncDecStmt:
+			if ev, ok := storeEvent(info, stateNamed, n.X, "store to"); ok {
+				ev.chain = chain
+				stores = append(stores, ev)
+			} else {
+				checkAliasStore(pass, stateNamed, esPtr, fresh, n.X, reported)
+			}
+		}
+		return true
+	})
+
+	for _, st := range stores {
+		if dominated(st, journals) {
+			continue
+		}
+		// One diagnostic per field and line: `s.dups = append(s.dups, x)`
+		// is one logical store, not an assignment plus an append.
+		p := pass.Fset.Position(st.pos)
+		key := lineKey{file: p.Filename, line: p.Line, field: st.field}
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		pass.Reportf(st.pos,
+			"%s journaled field %s.%s is not dominated by %s on the same receiver; "+
+				"rollback cannot restore this store (journal first, or annotate with edgelint:ignore txnjournal)",
+			st.desc, stateNamed.Obj().Name(), st.field, orList(journalFor[st.field]))
+	}
+}
+
+// dominated reports whether a covering journal call precedes the store
+// within the same (or an enclosing) branch scope on the same receiver.
+func dominated(st event, journals []event) bool {
+	for _, j := range journals {
+		if j.recv != st.recv || j.pos >= st.pos {
+			continue
+		}
+		if !covers(j.name, st.field) {
+			continue
+		}
+		if chainPrefix(j.chain, st.chain) {
+			return true
+		}
+	}
+	return false
+}
+
+func covers(journal, field string) bool {
+	for _, n := range journalFor[field] {
+		if n == journal {
+			return true
+		}
+	}
+	return false
+}
+
+// chainPrefix reports whether the journal call's branch chain is a
+// prefix of the store's: the store then cannot execute without the
+// journal call's scope having been entered first (and the position
+// check orders them within it).
+func chainPrefix(j, s []ast.Node) bool {
+	if len(j) > len(s) {
+		return false
+	}
+	for i := range j {
+		if j[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// branchChain filters an ancestor stack down to the nodes that make
+// execution conditional or repeated: loop statements, function
+// literals, switch/select clauses, and the then/else arms of if
+// statements (the arms themselves, so a journal call in one arm does
+// not dominate a store in the other).
+func branchChain(stack []ast.Node) []ast.Node {
+	var chain []ast.Node
+	for i, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			chain = append(chain, n)
+		default:
+			if i > 0 {
+				if p, ok := stack[i-1].(*ast.IfStmt); ok && (n == p.Body || n == p.Else) {
+					chain = append(chain, n)
+				}
+			}
+		}
+	}
+	return chain
+}
+
+// storeEvent classifies a written path as a store through a journaled
+// field of the state type, resolving the root receiver identifier.
+func storeEvent(info *types.Info, stateNamed *types.Named, e ast.Expr, verb string) (event, bool) {
+	field, root := stateField(info, stateNamed, e)
+	if field == "" || journalFor[field] == nil || root == nil {
+		return event{}, false
+	}
+	obj := identObj(info, root)
+	if obj == nil {
+		return event{}, false
+	}
+	return event{pos: e.Pos(), recv: obj, field: field, desc: verb}, true
+}
+
+// checkAliasStore flags stores through a local *EdgeSchedule that
+// aliases the live s.edges slice: such a pointer must come from cowEdge
+// (which journals and clones) — a pointer read straight from s.edges
+// predates the transaction and rollback cannot restore writes through
+// it. Fresh schedules (composite literals, constructor results) and
+// unresolvable roots (parameters) are skipped.
+func checkAliasStore(pass *lint.Pass, stateNamed *types.Named, esPtr types.Type, fresh *lint.Freshness, e ast.Expr, reported map[lineKey]bool) {
+	if esPtr == nil {
+		return
+	}
+	root, _ := lint.DecomposePath(pass.TypesInfo, e)
+	id, ok := ast.Unparen(root).(*ast.Ident)
+	if !ok || root == ast.Unparen(e) {
+		return // bare variable overwrite, not a store through the alias
+	}
+	obj := identObj(pass.TypesInfo, id)
+	if obj == nil || !types.Identical(obj.Type(), esPtr) {
+		return
+	}
+	def := fresh.ResolveDef(obj, e.Pos())
+	for i := 0; i < 10; i++ {
+		did, ok := ast.Unparen(def).(*ast.Ident)
+		if !ok {
+			break
+		}
+		dobj := identObj(pass.TypesInfo, did)
+		if dobj == nil {
+			break
+		}
+		def = fresh.ResolveDef(dobj, did.Pos())
+	}
+	if def == nil {
+		return // parameter or unknown origin: out of scope by design
+	}
+	if call, ok := ast.Unparen(def).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "cowEdge" {
+			return // journaled clone: safe to mutate
+		}
+	}
+	if field, _ := stateField(pass.TypesInfo, stateNamed, def); field == "edges" {
+		p := pass.Fset.Position(e.Pos())
+		key := lineKey{file: p.Filename, line: p.Line, field: "edges-alias"}
+		if !reported[key] {
+			reported[key] = true
+			pass.Reportf(e.Pos(),
+				"store through *%s aliasing %s.edges; obtain the schedule from cowEdge so rollback can restore it "+
+					"(or annotate with edgelint:ignore txnjournal)",
+				lint.NamedOf(esPtr).Obj().Name(), stateNamed.Obj().Name())
+		}
+	}
+	// Anything else — fresh allocation, clone result — is safe or out
+	// of scope.
+}
+
+// stateField unwinds a path expression to its root identifier and
+// returns the field name selected directly off the state type (the
+// innermost such selector), or "" when the path never passes through
+// the state.
+func stateField(info *types.Info, stateNamed *types.Named, e ast.Expr) (string, *ast.Ident) {
+	field := ""
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if t := info.TypeOf(x.X); t != nil {
+				if n := lint.NamedOf(t); n != nil && n.Obj() == stateNamed.Obj() {
+					field = x.Sel.Name
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return field, x
+		default:
+			return field, nil
+		}
+	}
+}
+
+// edgeElemType returns the element type of the state's edges field
+// (the *EdgeSchedule pointer type), or nil.
+func edgeElemType(stateNamed *types.Named) types.Type {
+	st, ok := stateNamed.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "edges" {
+			continue
+		}
+		switch u := f.Type().Underlying().(type) {
+		case *types.Slice:
+			return u.Elem()
+		case *types.Map:
+			return u.Elem()
+		}
+	}
+	return nil
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// builtinStore returns the written path of a builtin append/copy call,
+// or nil.
+func builtinStore(info *types.Info, call *ast.CallExpr) ast.Expr {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if id.Name == "append" || id.Name == "copy" {
+		return call.Args[0]
+	}
+	return nil
+}
+
+func orList(names []string) string {
+	return strings.Join(names, " or ")
+}

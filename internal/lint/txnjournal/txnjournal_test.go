@@ -1,0 +1,12 @@
+package txnjournal_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/txnjournal"
+)
+
+func TestTxnJournal(t *testing.T) {
+	linttest.Run(t, txnjournal.Analyzer, "a")
+}

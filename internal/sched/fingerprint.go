@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/linksched"
+)
+
+// The rollback oracle. A probe transaction is only correct if rollback
+// restores the state bit-for-bit: a single store that is not journaled
+// by the matching touch*/cowEdge call corrupts the committed schedule
+// silently — the transactional sibling of a forgotten Clone copy. With
+// Options.VerifyRollback set, begin captures a deep fingerprint of
+// every journaled piece of state and rollback re-checks it, panicking
+// with the offending field and ID instead of letting the corruption
+// propagate into an unreproducible wrong schedule. The txnjournal
+// static analyzer enforces the same invariant at build time; the
+// oracle is the runtime ground truth it mirrors.
+
+// fingerprint is a deep copy of everything rollback must restore.
+type fingerprint struct {
+	tasks      []TaskPlacement
+	procFinish []float64
+	dups       []TaskPlacement
+	edges      []*EdgeSchedule
+	tl         [][]linksched.Slot
+	bw         [][]linksched.SegmentInfo
+	ptl        [][]linksched.Slot
+}
+
+// captureFingerprint deep-copies the rollback-visible state.
+func (s *state) captureFingerprint() *fingerprint {
+	fp := &fingerprint{
+		tasks:      append([]TaskPlacement(nil), s.tasks...),
+		procFinish: append([]float64(nil), s.procFinish...),
+		dups:       append([]TaskPlacement(nil), s.dups...),
+		edges:      make([]*EdgeSchedule, len(s.edges)),
+	}
+	for i, es := range s.edges {
+		if es != nil {
+			fp.edges[i] = es.clone()
+		}
+	}
+	if s.tl != nil {
+		fp.tl = make([][]linksched.Slot, len(s.tl))
+		for i, tl := range s.tl {
+			fp.tl[i] = append([]linksched.Slot(nil), tl.Slots()...)
+		}
+	}
+	if s.bw != nil {
+		fp.bw = make([][]linksched.SegmentInfo, len(s.bw))
+		for i, bw := range s.bw {
+			fp.bw[i] = bw.Segments()
+		}
+	}
+	if s.ptl != nil {
+		fp.ptl = make([][]linksched.Slot, len(s.ptl))
+		for i, tl := range s.ptl {
+			if tl != nil {
+				fp.ptl[i] = append([]linksched.Slot(nil), tl.Slots()...)
+			}
+		}
+	}
+	return fp
+}
+
+// diff compares the fingerprint against the state's current contents
+// and returns a description of the first difference, or "" when the
+// state matches bit-for-bit. All comparisons are deliberately exact:
+// rollback restores saved values, so even a 1-ulp drift is a bug.
+func (fp *fingerprint) diff(s *state) string {
+	for i, want := range fp.tasks {
+		if s.tasks[i] != want {
+			return fmt.Sprintf("task %d placement: %+v -> %+v", i, want, s.tasks[i])
+		}
+	}
+	for i, want := range fp.procFinish {
+		// edgelint:ignore floateq — oracle checks bit-identical restore
+		if s.procFinish[i] != want {
+			return fmt.Sprintf("processor %d clock: %v -> %v", i, want, s.procFinish[i])
+		}
+	}
+	if len(s.dups) != len(fp.dups) {
+		return fmt.Sprintf("duplicates count: %d -> %d", len(fp.dups), len(s.dups))
+	}
+	for i, want := range fp.dups {
+		if s.dups[i] != want {
+			return fmt.Sprintf("duplicate %d: %+v -> %+v", i, want, s.dups[i])
+		}
+	}
+	for i, want := range fp.edges {
+		if d := diffEdge(i, want, s.edges[i]); d != "" {
+			return d
+		}
+	}
+	for i, want := range fp.tl {
+		if d := diffSlots("link", i, want, s.tl[i].Slots()); d != "" {
+			return d
+		}
+	}
+	for i, want := range fp.bw {
+		if d := diffSegments(i, want, s.bw[i].Segments()); d != "" {
+			return d
+		}
+	}
+	for i, want := range fp.ptl {
+		if s.ptl[i] == nil {
+			continue
+		}
+		if d := diffSlots("processor timeline", i, want, s.ptl[i].Slots()); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// diffEdge compares one edge schedule deeply (route, per-leg
+// placements, bandwidth chunks).
+func diffEdge(id int, want, got *EdgeSchedule) string {
+	switch {
+	case want == nil && got == nil:
+		return ""
+	case want == nil:
+		return fmt.Sprintf("edge %d: schedule appeared (%+v)", id, got)
+	case got == nil:
+		return fmt.Sprintf("edge %d: schedule vanished (was %+v)", id, want)
+	}
+	if got.Edge != want.Edge || got.SrcProc != want.SrcProc || got.DstProc != want.DstProc {
+		return fmt.Sprintf("edge %d endpoints: %d %d->%d became %d %d->%d",
+			id, want.Edge, want.SrcProc, want.DstProc, got.Edge, got.SrcProc, got.DstProc)
+	}
+	// edgelint:ignore floateq — oracle checks bit-identical restore
+	if got.Arrival != want.Arrival || got.Base != want.Base {
+		return fmt.Sprintf("edge %d arrival/base: %v/%v -> %v/%v",
+			id, want.Arrival, want.Base, got.Arrival, got.Base)
+	}
+	if len(got.Route) != len(want.Route) {
+		return fmt.Sprintf("edge %d route length: %d -> %d", id, len(want.Route), len(got.Route))
+	}
+	for i := range want.Route {
+		if got.Route[i] != want.Route[i] {
+			return fmt.Sprintf("edge %d route hop %d: link %d -> link %d", id, i, want.Route[i], got.Route[i])
+		}
+	}
+	if len(got.Placements) != len(want.Placements) {
+		return fmt.Sprintf("edge %d placements: %d legs -> %d legs", id, len(want.Placements), len(got.Placements))
+	}
+	for leg := range want.Placements {
+		wp, gp := want.Placements[leg], got.Placements[leg]
+		// edgelint:ignore floateq — oracle checks bit-identical restore
+		if gp.Link != wp.Link || gp.Start != wp.Start || gp.Finish != wp.Finish {
+			return fmt.Sprintf("edge %d leg %d on link %d: [%v,%v] -> link %d [%v,%v]",
+				id, leg, wp.Link, wp.Start, wp.Finish, gp.Link, gp.Start, gp.Finish)
+		}
+		if len(gp.Chunks) != len(wp.Chunks) {
+			return fmt.Sprintf("edge %d leg %d chunk count: %d -> %d", id, leg, len(wp.Chunks), len(gp.Chunks))
+		}
+		for c := range wp.Chunks {
+			if gp.Chunks[c] != wp.Chunks[c] {
+				return fmt.Sprintf("edge %d leg %d chunk %d: %+v -> %+v", id, leg, c, wp.Chunks[c], gp.Chunks[c])
+			}
+		}
+	}
+	return ""
+}
+
+// diffSlots compares one exclusive-slot timeline.
+func diffSlots(kind string, id int, want, got []linksched.Slot) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%s %d slot count: %d -> %d", kind, id, len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("%s %d slot %d: %+v -> %+v", kind, id, i, want[i], got[i])
+		}
+	}
+	return ""
+}
+
+// diffSegments compares one bandwidth timeline.
+func diffSegments(id int, want, got []linksched.SegmentInfo) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("bandwidth link %d segment count: %d -> %d", id, len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		// edgelint:ignore floateq — oracle checks bit-identical restore
+		if g.Start != w.Start || g.End != w.End || g.Avail != w.Avail {
+			return fmt.Sprintf("bandwidth link %d segment %d: [%v,%v] avail %v -> [%v,%v] avail %v",
+				id, i, w.Start, w.End, w.Avail, g.Start, g.End, g.Avail)
+		}
+		if len(g.Uses) != len(w.Uses) {
+			return fmt.Sprintf("bandwidth link %d segment %d use count: %d -> %d", id, i, len(w.Uses), len(g.Uses))
+		}
+		for u := range w.Uses {
+			if g.Uses[u] != w.Uses[u] {
+				return fmt.Sprintf("bandwidth link %d segment %d use %d: %+v -> %+v", id, i, u, w.Uses[u], g.Uses[u])
+			}
+		}
+	}
+	return ""
+}

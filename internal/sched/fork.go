@@ -184,11 +184,14 @@ func (s *state) placeAndCommit(tid dag.TaskID, proc network.NodeID) (float64, er
 
 // probe tentatively places tid on proc inside a transaction and
 // returns the finish time it would achieve; the state is rolled back
-// either way.
-func (s *state) probe(tid dag.TaskID, proc network.NodeID) (float64, error) {
+// either way. The rollback is deferred so that a panic mid-placement
+// still restores the state and closes the transaction — otherwise a
+// recovered panic would leave s.tx set and poison the replica for
+// every later probe.
+func (s *state) probe(tid dag.TaskID, proc network.NodeID) (finish float64, err error) {
 	s.begin()
-	finish, err := s.placeTask(tid, proc)
-	s.rollback()
+	defer s.rollback()
+	finish, err = s.placeTask(tid, proc)
 	return finish, err
 }
 
@@ -236,6 +239,11 @@ func (s *state) probeError(tid dag.TaskID, p network.NodeID, err error) error {
 func (s *state) selectByEFT(tid dag.TaskID) (network.NodeID, error) {
 	procs := s.net.Processors()
 	if len(procs) == 1 {
+		// The sole processor is selected by its (trivial) placement:
+		// count it as one evaluated placement so probe totals agree
+		// between 1-processor and n-processor topologies (|P| minus
+		// pruned probes per task either way).
+		s.stats.probes.Add(1)
 		return procs[0], nil
 	}
 	ready := s.readyTime(tid)

@@ -318,6 +318,45 @@ func TestParallelEFTMatchesSequentialWhiteBox(t *testing.T) {
 	}
 }
 
+// TestProbeStatsAgreeAcrossTopologySizes pins the probe accounting
+// invariant: every task's selection evaluates |P| placements, as
+// probes + pruned. The 1-processor early return used to skip the
+// counter entirely, so reported probe counts disagreed between
+// 1-processor and n-processor topologies.
+func TestProbeStatsAgreeAcrossTopologySizes(t *testing.T) {
+	g, _ := forkInstance(2)
+	one := network.NewTopology()
+	one.AddProcessor("p0", 1)
+	for name, net := range map[string]*network.Topology{
+		"1-proc": one,
+		"4-proc": network.Star(4, network.Uniform(1), network.Uniform(1)),
+	} {
+		s := mkState(t, g, net, Options{ProcSelect: ProcSelectEFT})
+		order, err := g.PriorityOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tid := range order {
+			proc, err := s.selectByEFT(tid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.placeTask(tid, proc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := s.stats.probes.Load() + s.stats.pruned.Load()
+		want := int64(g.NumTasks() * len(net.Processors()))
+		if total != want {
+			t.Fatalf("%s: probes(%d) + pruned(%d) = %d, want tasks×|P| = %d",
+				name, s.stats.probes.Load(), s.stats.pruned.Load(), total, want)
+		}
+		if p := s.stats.probes.Load(); p < int64(g.NumTasks()) {
+			t.Fatalf("%s: probes %d < one per task (%d)", name, p, g.NumTasks())
+		}
+	}
+}
+
 func TestProbeErrorNamesProcessor(t *testing.T) {
 	g, net := forkInstance(1)
 	s := mkState(t, g, net, Options{})

@@ -195,6 +195,162 @@ func TestTxnRollbackRestoresBandwidth(t *testing.T) {
 	}
 }
 
+// TestCowEdgeJournalsUntouchedEdge reproduces the silent-rollback hole:
+// cowEdge on an edge that was never journaled used to return the live
+// pre-transaction *EdgeSchedule for in-place mutation, corrupting state
+// that rollback could not restore. cowEdge must journal the edge on the
+// spot and hand back a clone.
+func TestCowEdgeJournalsUntouchedEdge(t *testing.T) {
+	g := dag.Chain(2, 1, 100)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	p := net.Processors()
+	if _, err := s.placeTask(0, p[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.placeTask(1, p[1]); err != nil {
+		t.Fatal(err)
+	}
+	es := s.edges[0]
+	if es == nil || len(es.Placements) == 0 {
+		t.Fatalf("chain edge has no schedule: %+v", es)
+	}
+	want := es.Placements[0]
+
+	// Probe-style transaction that mutates the edge without any prior
+	// touchEdge — exactly what a buggy placement path would do.
+	s.begin()
+	cl := s.cowEdge(0)
+	if cl == es {
+		t.Fatal("cowEdge returned the live pre-transaction schedule for an un-touched edge")
+	}
+	cl.Placements[0].Start += 17
+	cl.Placements[0].Finish += 17
+	s.rollback()
+
+	got := s.edges[0]
+	if got != es {
+		t.Fatalf("rollback did not restore the pre-transaction schedule pointer")
+	}
+	if gp := got.Placements[0]; gp.Link != want.Link || gp.Start != want.Start || gp.Finish != want.Finish {
+		t.Fatalf("rollback left a corrupted placement: %+v, want %+v", gp, want)
+	}
+}
+
+// TestProbePanicSafe locks in the open-transaction fix: a panic inside
+// placeTask must not leave s.tx set (which would poison the replica —
+// every later probe would die with "nested transaction").
+func TestProbePanicSafe(t *testing.T) {
+	g := dag.Chain(2, 1, 10)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{VerifyRollback: true})
+	p := net.Processors()
+	if _, err := s.placeTask(0, p[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := captureSnap(s)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("probe of a nonexistent processor did not panic")
+			}
+		}()
+		s.probe(1, network.NodeID(9999)) // edgelint:ignore errflow — the call panics before returning
+	}()
+
+	if s.tx != nil {
+		t.Fatal("panicking probe left the transaction open")
+	}
+	if after := captureSnap(s); !snapsEqual(before, after) {
+		t.Fatal("panicking probe left the state mutated")
+	}
+	// The replica must still be usable: a later probe and commit work.
+	if _, err := s.probe(1, p[1]); err != nil {
+		t.Fatalf("probe after recovered panic: %v", err)
+	}
+	if _, err := s.placeTask(1, p[1]); err != nil {
+		t.Fatalf("placement after recovered panic: %v", err)
+	}
+}
+
+// TestRollbackOracleDetectsUnjournaledWrites arms VerifyRollback and
+// commits un-journaled writes inside a transaction: rollback must panic
+// and name the corrupted field.
+func TestRollbackOracleDetectsUnjournaledWrites(t *testing.T) {
+	corrupt := map[string]func(s *state){
+		"task": func(s *state) {
+			s.tasks[0] = TaskPlacement{Task: 0, Proc: 0, Start: 1, Finish: 2}
+		},
+		"processor": func(s *state) {
+			s.procFinish[0] += 5
+		},
+		"edge": func(s *state) {
+			// In-place mutation through the live pointer, bypassing
+			// touchEdge/cowEdge — the exact hole this PR closes.
+			s.edges[0].Placements[0].Start += 3
+		},
+		"link": func(s *state) {
+			s.tl[0].InsertBasic(linksched.Owner{Edge: 99, Leg: 0}, linksched.Request{ES: 500, PF: 500, Dur: 1})
+		},
+	}
+	for name, mutate := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			g := dag.Chain(2, 1, 100)
+			net := network.Line(2, network.Uniform(1), network.Uniform(1))
+			s := mkState(t, g, net, Options{VerifyRollback: true})
+			p := net.Processors()
+			if _, err := s.placeTask(0, p[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.placeTask(1, p[1]); err != nil {
+				t.Fatal(err)
+			}
+			s.begin()
+			mutate(s)
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("rollback oracle missed an un-journaled write")
+				}
+			}()
+			s.rollback()
+		})
+	}
+}
+
+// TestBeginReusesJournalMaps pins the allocation fix: the six journal
+// maps are owned by the state and reused across transactions.
+func TestBeginReusesJournalMaps(t *testing.T) {
+	g := dag.Chain(2, 1, 10)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	p := net.Processors()
+	if _, err := s.placeTask(0, p[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.probe(1, p[1]); err != nil {
+		t.Fatal(err)
+	}
+	first := s.txFree
+	if first == nil {
+		t.Fatal("no reusable journal after the first probe")
+	}
+	if n := len(first.taskOld) + len(first.procOld) + len(first.edgeOld) +
+		len(first.tlSnaps) + len(first.bwSnaps) + len(first.ptlSnaps); n != 0 {
+		t.Fatalf("rollback left %d journal entries behind", n)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.begin()
+		s.rollback()
+	})
+	if allocs != 0 {
+		t.Fatalf("empty transaction allocates %v times, want 0", allocs)
+	}
+	if s.txFree != first {
+		t.Fatal("journal not reused across transactions")
+	}
+}
+
 func TestNestedTxnPanics(t *testing.T) {
 	g := dag.Chain(2, 1, 1)
 	net := network.Line(2, network.Uniform(1), network.Uniform(1))

@@ -304,6 +304,13 @@ type Options struct {
 	// 1 keeps the probes sequential on the primary state. Schedules
 	// are bit-identical at any setting — see fork.go.
 	ProbeWorkers int
+	// VerifyRollback arms the rollback oracle: every probe transaction
+	// captures a deep fingerprint of the scheduler state at begin and
+	// re-checks it after rollback, panicking with the offending
+	// field/link ID on any difference. A debugging and property-test
+	// aid — fingerprinting costs O(state) per probe, so leave it off
+	// in production runs.
+	VerifyRollback bool
 }
 
 // priorityOrder returns the task order selected by the options.
@@ -396,6 +403,10 @@ type state struct {
 	dups       []TaskPlacement // duplicated source tasks (Duplication)
 
 	tx *txn // active transaction, or nil
+	// txFree is the reusable transaction journal: begin takes it,
+	// rollback clears its maps and leaves it for the next probe, so the
+	// six journal maps are allocated once per state, not per probe.
+	txFree *txn
 
 	// router performs route searches with reused scratch buffers;
 	// routeCache memoizes the static BFS routes and is shared (it is

@@ -21,21 +21,34 @@ type txn struct {
 	// dupsLen is the duplicates count at transaction start; rollback
 	// truncates to it (duplicates are append-only).
 	dupsLen int
+	// fp is the rollback oracle's deep fingerprint of the whole state,
+	// captured at begin when Options.VerifyRollback is set; rollback
+	// re-fingerprints after restoring and panics on any difference,
+	// naming the corrupted field and ID.
+	fp *fingerprint
 }
 
-// begin opens a transaction. Transactions do not nest.
+// begin opens a transaction. Transactions do not nest. The journal maps
+// are owned by the state and reused across transactions (cleared by
+// rollback), so a probe transaction allocates nothing in steady state.
 func (s *state) begin() {
 	if s.tx != nil {
 		panic("sched: nested transaction")
 	}
-	s.tx = &txn{
-		taskOld:  map[dag.TaskID]TaskPlacement{},
-		procOld:  map[network.NodeID]float64{},
-		edgeOld:  map[dag.EdgeID]*EdgeSchedule{},
-		tlSnaps:  map[network.LinkID]linksched.Snapshot{},
-		bwSnaps:  map[network.LinkID]linksched.BWSnapshot{},
-		ptlSnaps: map[network.NodeID]linksched.Snapshot{},
-		dupsLen:  len(s.dups),
+	if s.txFree == nil {
+		s.txFree = &txn{
+			taskOld:  map[dag.TaskID]TaskPlacement{},
+			procOld:  map[network.NodeID]float64{},
+			edgeOld:  map[dag.EdgeID]*EdgeSchedule{},
+			tlSnaps:  map[network.LinkID]linksched.Snapshot{},
+			bwSnaps:  map[network.LinkID]linksched.BWSnapshot{},
+			ptlSnaps: map[network.NodeID]linksched.Snapshot{},
+		}
+	}
+	s.tx = s.txFree
+	s.tx.dupsLen = len(s.dups)
+	if s.opts.VerifyRollback {
+		s.tx.fp = s.captureFingerprint()
 	}
 }
 
@@ -66,6 +79,19 @@ func (s *state) rollback() {
 	if len(s.dups) > tx.dupsLen {
 		s.dups = s.dups[:tx.dupsLen]
 	}
+	if tx.fp != nil {
+		fp := tx.fp
+		tx.fp = nil
+		if d := fp.diff(s); d != "" {
+			panic("sched: incomplete rollback (un-journaled write?): " + d)
+		}
+	}
+	clear(tx.taskOld)
+	clear(tx.procOld)
+	clear(tx.edgeOld)
+	clear(tx.tlSnaps)
+	clear(tx.bwSnaps)
+	clear(tx.ptlSnaps)
 	s.tx = nil
 }
 
@@ -102,13 +128,18 @@ func (s *state) touchEdge(id dag.EdgeID) {
 
 // cowEdge returns an edge schedule safe to mutate in place: inside a
 // transaction, a schedule that predates the transaction is cloned
-// first so the journaled pointer keeps the original values.
+// first so the journaled pointer keeps the original values. An edge
+// that was never journaled is journaled on the spot — returning the
+// live pre-transaction pointer here would let the caller mutate state
+// that rollback cannot restore (the silent-rollback hole).
 func (s *state) cowEdge(id dag.EdgeID) *EdgeSchedule {
 	cur := s.edges[id]
 	if s.tx == nil || cur == nil {
 		return cur
 	}
-	if old, ok := s.tx.edgeOld[id]; !ok || old != cur {
+	if old, ok := s.tx.edgeOld[id]; !ok {
+		s.tx.edgeOld[id] = cur // journal now; clone below
+	} else if old != cur {
 		return cur // created or already cloned inside this transaction
 	}
 	cl := *cur
