@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint lint-self check bench bench-smoke
+.PHONY: build vet test race lint lint-self check bench bench-smoke bench-check
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,11 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
 
+# bench-check re-runs the gated macro benchmarks (a few seconds each)
+# and fails on any regression beyond the noise threshold versus the
+# latest committed BENCH_<n>.json — the non-flaky smoke gate.
+bench-check:
+	$(GO) run ./cmd/benchdiff -check -count 3 -benchtime 5x
+
 # check mirrors the CI pipeline (.github/workflows/ci.yml).
-check: build vet test race lint lint-self
+check: build vet test race lint lint-self bench-check

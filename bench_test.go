@@ -6,6 +6,7 @@
 package edgesched
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -139,6 +140,27 @@ func BenchmarkScheduleBASinnen(b *testing.B) {
 	benchAlgorithm(b, a)
 }
 
+// BenchmarkScheduleBASinnenLarge times the strong EFT baseline
+// (sequential probes) on a 1000-task instance, where the per-link
+// timelines grow long enough that the earliest-gap search dominates.
+func BenchmarkScheduleBASinnenLarge(b *testing.B) {
+	inst := workload.Generate(workload.Params{
+		Processors: 32, CCR: 2, MinTasks: 1000, MaxTasks: 1000, Seed: 42,
+	})
+	a := sched.NewBASinnen()
+	a.Opts.ProbeWorkers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := a.Schedule(inst.Graph, inst.Net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Makespan <= 0 {
+			b.Fatal("empty makespan")
+		}
+	}
+}
+
 // BenchmarkScheduleBASinnenParallel times the same EFT baseline with
 // the processor probes fanned out over GOMAXPROCS forked states. The
 // schedule is bit-identical to the sequential run; only wall-clock per
@@ -190,58 +212,97 @@ func BenchmarkAblationDuplication(b *testing.B) { benchAblation(b, "duplication"
 
 // BenchmarkTimelineInsertBasic measures basic insertion on a loaded
 // timeline.
-func BenchmarkTimelineInsertBasic(b *testing.B) {
+// timelineReqs builds n placement requests spread over a time range
+// that scales with n, so timelines reach n slots with realistic
+// fragmentation at every sweep size.
+func timelineReqs(n int) []linksched.Request {
 	r := rand.New(rand.NewSource(1))
-	reqs := make([]linksched.Request, 512)
+	span := float64(n) * 2
+	reqs := make([]linksched.Request, n)
 	for i := range reqs {
-		es := r.Float64() * 1000
+		es := r.Float64() * span
 		reqs[i] = linksched.Request{ES: es, PF: es, Dur: r.Float64()*10 + 0.1}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	return reqs
+}
+
+// timelineSweep is the slot-count sweep shared by the timeline
+// benchmarks: two decades around the sizes the schedulers produce.
+var timelineSweep = []int{100, 1000, 10000}
+
+func BenchmarkTimelineInsertBasic(b *testing.B) {
+	for _, n := range timelineSweep {
+		reqs := timelineReqs(n)
+		b.Run(fmt.Sprintf("slots=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tl := linksched.NewTimeline()
+				for j, req := range reqs {
+					tl.InsertBasic(linksched.Owner{Edge: j}, req)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTimelineProbeBasic isolates the earliest-gap search: probes
+// against a prebuilt timeline of n slots, no insertion memmove.
+func BenchmarkTimelineProbeBasic(b *testing.B) {
+	for _, n := range timelineSweep {
+		reqs := timelineReqs(n)
 		tl := linksched.NewTimeline()
 		for j, req := range reqs {
 			tl.InsertBasic(linksched.Owner{Edge: j}, req)
 		}
+		b.Run(fmt.Sprintf("slots=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				req := reqs[i%len(reqs)]
+				start, _ := tl.ProbeBasic(req)
+				if start < 0 {
+					b.Fatal("negative start")
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkTimelineInsertOptimal measures optimal insertion with a
-// constant-slack oracle.
+// constant-slack oracle across the slot sweep.
 func BenchmarkTimelineInsertOptimal(b *testing.B) {
-	r := rand.New(rand.NewSource(1))
-	reqs := make([]linksched.Request, 512)
-	for i := range reqs {
-		es := r.Float64() * 1000
-		reqs[i] = linksched.Request{ES: es, PF: es, Dur: r.Float64()*10 + 0.1}
-	}
 	slack := func(linksched.Owner) float64 { return 5 }
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tl := linksched.NewTimeline()
-		for j, req := range reqs {
-			tl.InsertOptimal(linksched.Owner{Edge: j}, req, slack)
-		}
+	for _, n := range timelineSweep {
+		reqs := timelineReqs(n)
+		b.Run(fmt.Sprintf("slots=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tl := linksched.NewTimeline()
+				for j, req := range reqs {
+					tl.InsertOptimal(linksched.Owner{Edge: j}, req, slack)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkBandwidthAllocForward measures BBSA's chunk engine across a
-// two-link route.
+// two-link route, sweeping the number of transfers sharing the links.
 func BenchmarkBandwidthAllocForward(b *testing.B) {
-	r := rand.New(rand.NewSource(1))
 	type job struct{ es, vol float64 }
-	jobs := make([]job, 256)
-	for i := range jobs {
-		jobs[i] = job{es: r.Float64() * 500, vol: r.Float64()*50 + 1}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		up := linksched.NewBWTimeline()
-		down := linksched.NewBWTimeline()
-		for j, jb := range jobs {
-			cs := up.Alloc(linksched.Owner{Edge: j, Leg: 0}, jb.es, jb.vol, 2, 0)
-			down.Forward(linksched.Owner{Edge: j, Leg: 1}, cs, 2, 1, 0)
+	for _, n := range timelineSweep {
+		r := rand.New(rand.NewSource(1))
+		span := float64(n) * 2
+		jobs := make([]job, n)
+		for i := range jobs {
+			jobs[i] = job{es: r.Float64() * span, vol: r.Float64()*50 + 1}
 		}
+		b.Run(fmt.Sprintf("jobs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				up := linksched.NewBWTimeline()
+				down := linksched.NewBWTimeline()
+				for j, jb := range jobs {
+					cs := up.Alloc(linksched.Owner{Edge: j, Leg: 0}, jb.es, jb.vol, 2, 0)
+					down.Forward(linksched.Owner{Edge: j, Leg: 1}, cs, 2, 1, 0)
+				}
+			}
+		})
 	}
 }
 

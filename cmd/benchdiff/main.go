@@ -9,13 +9,24 @@
 //	benchdiff -parse out.txt     # convert saved `go test -bench` output to the next snapshot
 //	benchdiff -compare A.json B.json   # print the delta table between two snapshots
 //	benchdiff -run -count 3 -bench 'Figure'   # narrower/faster run
+//	benchdiff -check -count 3 -benchtime 5x   # CI gate vs the latest committed snapshot
 //
 // Snapshots aggregate `go test -bench . -benchmem -count N` samples per
 // benchmark (mean and best ns/op, mean B/op and allocs/op). The delta
 // table reports the percentage change of the mean ns/op and mean
-// allocs/op; negative is faster/leaner. Changes within ±3% on ns/op are
+// allocs/op; negative is faster/leaner. Changes within ±3% on ns/op is
 // noise on most machines — read the direction of the whole table, not a
 // single row.
+//
+// The -check mode is the non-flaky smoke gate: it re-runs only the
+// benchmarks named by -gate, compares their best-of-count ns/op (the
+// min is far less noisy than the mean on shared CI machines) against
+// the latest committed BENCH_<n>.json, and exits non-zero if any gated
+// benchmark regressed by more than -max-regress percent. The threshold
+// is deliberately generous — the gate exists to catch accidental
+// algorithmic regressions (linear rescans, lost caches), not to police
+// single-digit noise; the committed snapshot trail is the precise
+// record.
 package main
 
 import (
@@ -54,14 +65,18 @@ type Snapshot struct {
 
 func main() {
 	var (
-		run     = flag.Bool("run", false, "run the benchmark suite and snapshot the results")
-		parse   = flag.String("parse", "", "parse saved `go test -bench` output from a file instead of running")
-		compare = flag.Bool("compare", false, "compare two snapshot files given as arguments")
-		count   = flag.Int("count", 5, "benchmark repetitions (-run)")
-		bench   = flag.String("bench", ".", "benchmark selection regexp (-run)")
-		pkg     = flag.String("pkg", ".", "package to benchmark (-run)")
-		dir     = flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
-		timeOut = flag.String("timeout", "60m", "go test timeout (-run)")
+		run       = flag.Bool("run", false, "run the benchmark suite and snapshot the results")
+		parse     = flag.String("parse", "", "parse saved `go test -bench` output from a file instead of running")
+		compare   = flag.Bool("compare", false, "compare two snapshot files given as arguments")
+		check     = flag.Bool("check", false, "gate: fail if a -gate benchmark regressed vs the latest snapshot")
+		count     = flag.Int("count", 5, "benchmark repetitions (-run/-check)")
+		bench     = flag.String("bench", ".", "benchmark selection regexp (-run)")
+		benchTime = flag.String("benchtime", "", "go test -benchtime (-run/-check); empty uses the go default")
+		gate      = flag.String("gate", defaultGate, "comma-separated benchmark names guarded by -check")
+		maxPct    = flag.Float64("max-regress", 50, "percent min-ns/op regression -check tolerates")
+		pkg       = flag.String("pkg", ".", "package to benchmark (-run/-check)")
+		dir       = flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
+		timeOut   = flag.String("timeout", "60m", "go test timeout (-run/-check)")
 	)
 	flag.Parse()
 
@@ -93,27 +108,143 @@ func main() {
 			fatal(err)
 		}
 	case *run:
-		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
-			"-count", strconv.Itoa(*count), "-timeout", *timeOut, *pkg}
-		fmt.Fprintln(os.Stderr, "benchdiff: go "+strings.Join(args, " "))
-		cmd := exec.Command("go", args...)
-		cmd.Stderr = os.Stderr
-		out, err := cmd.Output()
+		out, args, err := runBench(*bench, *count, *benchTime, *timeOut, *pkg)
 		if err != nil {
-			fatal(fmt.Errorf("go test -bench: %w", err))
+			fatal(err)
 		}
 		snap := newSnapshot("go " + strings.Join(args, " "))
-		snap.Benchmarks = parseBench(string(out))
+		snap.Benchmarks = parseBench(out)
 		if len(snap.Benchmarks) == 0 {
 			fatal(fmt.Errorf("benchmark run produced no parsable lines"))
 		}
 		if err := saveAndCompare(*dir, snap); err != nil {
 			fatal(err)
 		}
+	case *check:
+		if err := runCheck(*dir, *gate, *count, *benchTime, *timeOut, *pkg, *maxPct); err != nil {
+			fatal(err)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// defaultGate lists the benchmarks the -check gate guards: the four
+// end-to-end scheduler presets plus the large-graph EFT baseline, the
+// macro paths every kernel change flows through. Micro-benchmarks are
+// deliberately absent — their single-digit-microsecond timings are too
+// noisy to gate on a shared machine.
+const defaultGate = "BenchmarkScheduleBA,BenchmarkScheduleBASinnen,BenchmarkScheduleBASinnenLarge,BenchmarkScheduleOIHSA,BenchmarkScheduleBBSA"
+
+// runBench shells out to go test -bench and returns its stdout.
+func runBench(bench string, count int, benchTime, timeOut, pkg string) (string, []string, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem",
+		"-count", strconv.Itoa(count)}
+	if benchTime != "" {
+		args = append(args, "-benchtime", benchTime)
+	}
+	args = append(args, "-timeout", timeOut, pkg)
+	fmt.Fprintln(os.Stderr, "benchdiff: go "+strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", args, fmt.Errorf("go test -bench: %w", err)
+	}
+	return string(out), args, nil
+}
+
+// runCheck re-runs the gated benchmarks and fails on any regression
+// beyond maxPct versus the latest committed snapshot.
+func runCheck(dir, gate string, count int, benchTime, timeOut, pkg string, maxPct float64) error {
+	prev, err := latest(dir)
+	if err != nil {
+		return err
+	}
+	if prev == 0 {
+		return fmt.Errorf("-check needs a committed BENCH_<n>.json baseline in %s", dir)
+	}
+	prevPath := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", prev))
+	old, err := load(prevPath)
+	if err != nil {
+		return err
+	}
+	names := splitGate(gate)
+	if len(names) == 0 {
+		return fmt.Errorf("-gate names no benchmarks")
+	}
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = regexp.QuoteMeta(n)
+	}
+	out, _, err := runBench("^("+strings.Join(quoted, "|")+")$", count, benchTime, timeOut, pkg)
+	if err != nil {
+		return err
+	}
+	cur := parseBench(out)
+	if len(cur) == 0 {
+		return fmt.Errorf("gate run produced no parsable benchmark lines")
+	}
+	violations := gateViolations(old.Benchmarks, cur, names, maxPct)
+	for _, name := range names {
+		o, inOld := old.Benchmarks[name]
+		n, inCur := cur[name]
+		switch {
+		case !inOld:
+			fmt.Printf("%-34s not in %s; skipped\n", name, prevPath)
+		case !inCur:
+			fmt.Printf("%-34s MISSING from gate run\n", name)
+		default:
+			fmt.Printf("%-34s min %14.0f -> %14.0f ns/op  %+6.1f%%\n",
+				name, o.MinNsPerOp, n.MinNsPerOp, pct(o.MinNsPerOp, n.MinNsPerOp))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION "+v)
+		}
+		return fmt.Errorf("%d of %d gated benchmarks regressed beyond +%.0f%% vs %s",
+			len(violations), len(names), maxPct, prevPath)
+	}
+	fmt.Printf("benchdiff: %d gated benchmarks within +%.0f%% of %s\n", len(names), maxPct, prevPath)
+	return nil
+}
+
+// splitGate parses the comma-separated gate list, dropping empties.
+func splitGate(gate string) []string {
+	var names []string
+	for _, n := range strings.Split(gate, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// gateViolations compares the gated benchmarks' best-of-count ns/op
+// between the baseline and the current run. A gated benchmark missing
+// from the current run is a violation (the gate must not silently
+// shrink); one missing from the baseline is skipped (it is new and has
+// no reference yet).
+func gateViolations(old, cur map[string]Sample, names []string, maxPct float64) []string {
+	var out []string
+	for _, name := range names {
+		o, inOld := old[name]
+		if !inOld {
+			continue
+		}
+		n, inCur := cur[name]
+		if !inCur {
+			out = append(out, fmt.Sprintf("%s: missing from gate run", name))
+			continue
+		}
+		if d := pct(o.MinNsPerOp, n.MinNsPerOp); d > maxPct {
+			out = append(out, fmt.Sprintf("%s: min ns/op %+.1f%% (%.0f -> %.0f, limit +%.0f%%)",
+				name, d, o.MinNsPerOp, n.MinNsPerOp, maxPct))
+		}
+	}
+	return out
 }
 
 func newSnapshot(command string) *Snapshot {

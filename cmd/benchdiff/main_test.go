@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -99,5 +100,54 @@ func TestSaveAndCompareRoundTrip(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "BENCH_2.json")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestGateViolations(t *testing.T) {
+	old := map[string]Sample{
+		"BenchmarkA": {MinNsPerOp: 1000},
+		"BenchmarkB": {MinNsPerOp: 2000},
+		"BenchmarkC": {MinNsPerOp: 3000},
+	}
+	cur := map[string]Sample{
+		"BenchmarkA": {MinNsPerOp: 1400}, // +40%: inside a 50% limit
+		"BenchmarkB": {MinNsPerOp: 3100}, // +55%: regression
+		// BenchmarkC missing from the gate run: violation
+		"BenchmarkD": {MinNsPerOp: 99}, // new, no baseline: skipped
+	}
+	names := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkD"}
+	got := gateViolations(old, cur, names, 50)
+	if len(got) != 2 {
+		t.Fatalf("got %d violations %v, want 2", len(got), got)
+	}
+	// Improvements never trip the gate, whatever the magnitude.
+	fast := map[string]Sample{"BenchmarkA": {MinNsPerOp: 10}}
+	if v := gateViolations(old, fast, []string{"BenchmarkA"}, 50); len(v) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", v)
+	}
+}
+
+func TestSplitGate(t *testing.T) {
+	got := splitGate(" BenchmarkA, ,BenchmarkB,")
+	if len(got) != 2 || got[0] != "BenchmarkA" || got[1] != "BenchmarkB" {
+		t.Fatalf("splitGate = %v", got)
+	}
+	if got := splitGate(""); got != nil {
+		t.Fatalf("splitGate(empty) = %v, want nil", got)
+	}
+}
+
+func TestDefaultGateNamesExistInSuite(t *testing.T) {
+	// The default gate must name real benchmarks: every entry has to
+	// appear in the repository bench suite, or the gate silently skips.
+	data, err := os.ReadFile(filepath.Join("..", "..", "bench_test.go"))
+	if err != nil {
+		t.Skipf("bench suite not readable: %v", err)
+	}
+	for _, name := range splitGate(defaultGate) {
+		decl := "func " + name + "(b *testing.B)"
+		if !strings.Contains(string(data), decl) {
+			t.Errorf("default gate names %s, but %q not found in bench_test.go", name, decl)
+		}
 	}
 }

@@ -72,23 +72,24 @@ func (t *BWTimeline) Segments() []SegmentInfo {
 }
 
 // split ensures a segment boundary exists at time x and returns the
-// index of the segment starting at x, or the index where a new idle
-// region beginning at x would live. Only called for x within or at the
-// edge of existing segments.
-func (t *BWTimeline) split(x float64) {
+// index of the first segment whose end lies beyond x (after any
+// insertion), so callers can keep walking without re-searching. Only
+// called for x within or at the edge of existing segments.
+func (t *BWTimeline) split(x float64) int {
 	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > x })
 	if i == len(t.segs) {
-		return
+		return i
 	}
 	s := &t.segs[i]
 	if fptime.GeqEps(s.start, x) || fptime.LeqEps(s.end, x) {
-		return // boundary already (approximately) present
+		return i // boundary already (approximately) present
 	}
 	left := seg{start: s.start, end: x, avail: s.avail, uses: append([]use(nil), s.uses...)}
 	s.start = x
 	t.segs = append(t.segs, seg{})
 	copy(t.segs[i+1:], t.segs[i:])
 	t.segs[i] = left
+	return i + 1 // the right half, now starting at x
 }
 
 // reserve books rate bandwidth for owner over [a, b], splitting
@@ -98,11 +99,20 @@ func (t *BWTimeline) reserve(owner Owner, a, b, rate float64) {
 	if b-a <= Eps || rate <= Eps {
 		return
 	}
-	t.split(a)
-	t.split(b)
-	// Walk from a to b covering idle gaps with fresh segments.
+	ia := t.split(a)
+	t.split(b) // inserts at an index >= ia, so ia stays valid
+	// Walk from a to b covering idle gaps with fresh segments. The
+	// walk starts where split(a) left off: segment ends never decrease,
+	// so advancing linearly over the (at most one, Eps-short) segment
+	// still ending at or before a+Eps reproduces the binary search the
+	// scan previously redid from scratch.
 	cur := a
-	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > a+Eps })
+	i := ia
+	// edgelint:ignore floateq — exact replica of the former
+	// sort.Search(end > a+Eps) predicate; must match it bit-for-bit.
+	for i < len(t.segs) && t.segs[i].end <= a+Eps {
+		i++
+	}
 	for fptime.LessEps(cur, b) {
 		if i < len(t.segs) && fptime.LeqEps(t.segs[i].start, cur) {
 			s := &t.segs[i]
@@ -221,10 +231,28 @@ func (t *BWTimeline) EstimateFinish(es, volume, speed float64) (start, finish fl
 	cur := math.Max(es, 0)
 	remaining := volume
 	start = -1
+	// Monotone segment cursor: cur only moves forward, and segment ends
+	// never decrease, so one binary search seeds the walk and each
+	// iteration advances the index in amortized O(1) instead of
+	// re-searching from t=0 — the availability answers are the ones
+	// availAt would give at every step.
+	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > cur+Eps })
 	for remaining > volume*1e-9+Eps/2 {
-		avail, until := t.availAt(cur)
+		avail, until := 1.0, math.Inf(1)
+		if i < len(t.segs) {
+			if s := &t.segs[i]; s.start > cur+Eps {
+				avail, until = 1, s.start // idle gap before segment i
+			} else {
+				avail, until = s.avail, s.end
+			}
+		}
 		if avail <= Eps {
 			cur = until
+			// edgelint:ignore floateq — exact replica of availAt's
+			// sort.Search(end > cur+Eps) predicate.
+			for i < len(t.segs) && t.segs[i].end <= cur+Eps {
+				i++
+			}
 			continue
 		}
 		if start < 0 {
@@ -243,6 +271,11 @@ func (t *BWTimeline) EstimateFinish(es, volume, speed float64) (start, finish fl
 		}
 		remaining -= avail * speed * (end - cur)
 		cur = end
+		// edgelint:ignore floateq — exact replica of availAt's
+		// sort.Search(end > cur+Eps) predicate.
+		for i < len(t.segs) && t.segs[i].end <= cur+Eps {
+			i++
+		}
 	}
 	if start < 0 {
 		start = cur
@@ -336,19 +369,37 @@ type BWSnapshot struct {
 
 // Snapshot returns a restorable deep copy of the current state.
 func (t *BWTimeline) Snapshot() BWSnapshot {
-	cp := make([]seg, len(t.segs))
-	for i, s := range t.segs {
-		cp[i] = seg{start: s.start, end: s.end, avail: s.avail, uses: append([]use(nil), s.uses...)}
-	}
-	return BWSnapshot{segs: cp}
+	return t.SnapshotInto(BWSnapshot{})
+}
+
+// SnapshotInto captures the current state reusing the buffers of a
+// stale snapshot (one that will never be restored again), including the
+// per-segment use slices. See Timeline.SnapshotInto.
+func (t *BWTimeline) SnapshotInto(old BWSnapshot) BWSnapshot {
+	return BWSnapshot{segs: copySegs(old.segs, t.segs)}
 }
 
 // Restore resets the timeline to a previously captured snapshot.
 func (t *BWTimeline) Restore(s BWSnapshot) {
-	t.segs = t.segs[:0]
-	for _, sg := range s.segs {
-		t.segs = append(t.segs, seg{start: sg.start, end: sg.end, avail: sg.avail, uses: append([]use(nil), sg.uses...)})
+	t.segs = copySegs(t.segs, s.segs)
+}
+
+// copySegs deep-copies src into dst's backing storage, reusing the
+// outer slice and the per-segment use buffers it already holds. dst and
+// src never share use slices (snapshots copy out of the timeline, the
+// timeline copies out of snapshots), so the element-wise copy cannot
+// alias.
+func copySegs(dst, src []seg) []seg {
+	n := len(src)
+	if cap(dst) < n {
+		dst = append(dst[:cap(dst)], make([]seg, n-cap(dst))...)
 	}
+	dst = dst[:n]
+	for i, s := range src {
+		dst[i].start, dst[i].end, dst[i].avail = s.start, s.end, s.avail
+		dst[i].uses = append(dst[i].uses[:0], s.uses...)
+	}
+	return dst
 }
 
 // NumSegments reports the number of segments (for tests/statistics).

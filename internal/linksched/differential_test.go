@@ -1,0 +1,198 @@
+package linksched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file cross-checks the indexed probe kernels (timeline.go)
+// against the retained linear reference kernels (reference.go). The
+// contract is bit-identity, not closeness: every comparison below is
+// exact float equality, because the scheduler's determinism guarantees
+// (Workers-1-vs-8, rollback oracle) assume probes are pure functions of
+// the slot array regardless of how the search is organized.
+
+// buildTimeline grows a timeline to n slots with the given source of
+// randomness, mixing basic and optimal insertions (optimal with a
+// deterministic pseudo-slack so shifts occur).
+func buildRandomTimeline(r *rand.Rand, n int) *Timeline {
+	tl := NewTimeline()
+	for i := 0; i < n; i++ {
+		req := Request{
+			ES:  r.Float64() * 1000,
+			PF:  r.Float64() * 1000,
+			Dur: r.Float64()*10 + 0.01,
+		}
+		owner := Owner{Edge: i, Leg: 0}
+		if i%7 == 3 {
+			tl.InsertOptimal(owner, req, func(o Owner) float64 {
+				return float64(o.Edge%5) * 0.5
+			})
+		} else {
+			tl.InsertBasic(owner, req)
+		}
+	}
+	return tl
+}
+
+func checkProbesAgree(t *testing.T, tl *Timeline, req Request, slack SlackFunc) {
+	t.Helper()
+	gs, gf := tl.ProbeBasic(req)
+	ws, wf := probeBasicLinear(tl.slots, req)
+	// edgelint:ignore floateq — bit-identity contract, exact by design.
+	if gs != ws || gf != wf {
+		t.Fatalf("ProbeBasic(%+v) = (%v, %v), reference = (%v, %v) at %d slots",
+			req, gs, gf, ws, wf, tl.Len())
+	}
+	os, of, op := tl.ProbeOptimal(req, slack)
+	rs, rf, rp := probeOptimalLinear(tl.slots, req, slack)
+	// edgelint:ignore floateq — bit-identity contract, exact by design.
+	if os != rs || of != rf || op != rp {
+		t.Fatalf("ProbeOptimal(%+v) = (%v, %v, %d), reference = (%v, %v, %d) at %d slots",
+			req, os, of, op, rs, rf, rp, tl.Len())
+	}
+}
+
+// TestProbeDifferential drives the indexed and reference kernels over
+// randomized timelines across the scaling range — well below one index
+// block up to hundreds of blocks — and demands exactly equal answers.
+func TestProbeDifferential(t *testing.T) {
+	slack := func(o Owner) float64 { return float64(o.Edge%4) * 1.5 }
+	for _, n := range []int{0, 1, 7, gapBlock - 1, gapBlock, gapBlock + 1, 100, 333, 1000, 4000} {
+		r := rand.New(rand.NewSource(int64(n) + 1))
+		tl := buildRandomTimeline(r, n)
+		if err := tl.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			req := Request{
+				ES:  r.Float64() * 1200,
+				PF:  r.Float64() * 1200,
+				Dur: r.Float64()*20 + 0.001,
+			}
+			switch trial % 10 {
+			case 7:
+				req.Dur = r.Float64() * 1e-6 // sub-Eps durations
+			case 8:
+				req.ES, req.PF = 0, 0 // probe from the origin
+			case 9:
+				req.ES = 2000 // probe past every slot
+			}
+			checkProbesAgree(t, tl, req, slack)
+		}
+	}
+}
+
+// TestProbeDifferentialAdversarial aims randomized probes at the
+// pruning margins: slot boundaries shifted by sub-Eps offsets, gaps
+// exactly equal to the requested duration, and large magnitudes where
+// rounding slack matters most.
+func TestProbeDifferentialAdversarial(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	slack := func(o Owner) float64 { return float64(o.Edge%3) }
+	for trial := 0; trial < 300; trial++ {
+		tl := NewTimeline()
+		base := math.Pow(10, float64(r.Intn(7))) // magnitudes 1 .. 1e6
+		cur := 0.0
+		n := gapBlock + r.Intn(3*gapBlock)
+		for i := 0; i < n; i++ {
+			gap := float64(r.Intn(3)) * base / 100
+			if r.Intn(4) == 0 {
+				gap += Eps * float64(r.Intn(5)) / 2 // sub-Eps jitter
+			}
+			durS := base/50 + float64(r.Intn(3))*base/200
+			cur += gap
+			tl.insertSorted(Slot{Start: cur, End: cur + durS, Owner: Owner{Edge: i}})
+			cur += durS
+		}
+		if err := tl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 30; probe++ {
+			// Durations at and around the exact gap sizes used above.
+			dur := base/100 + float64(r.Intn(5)-2)*Eps/2
+			if dur <= 0 {
+				dur = base / 100
+			}
+			req := Request{ES: r.Float64() * cur, PF: r.Float64() * cur, Dur: dur}
+			checkProbesAgree(t, tl, req, slack)
+		}
+	}
+}
+
+// TestSnapshotRoundTripKeepsIndex pins that Snapshot/Restore and Clone
+// carry the block index: after a round trip the index must validate
+// and probes must agree with the reference on the restored slots.
+func TestSnapshotRoundTripKeepsIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tl := buildRandomTimeline(r, 500)
+	snap := tl.Snapshot()
+	for i := 0; i < 100; i++ {
+		tl.InsertBasic(Owner{Edge: 1000 + i}, Request{ES: r.Float64() * 2000, Dur: 1})
+	}
+	tl.Restore(snap)
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+	cl := tl.Clone()
+	cl.InsertBasic(Owner{Edge: 1}, Request{ES: 3000, Dur: 5})
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("clone mutation corrupted original: %v", err)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	req := Request{ES: 123.4, PF: 130, Dur: 2.5}
+	checkProbesAgree(t, tl, req, func(Owner) float64 { return 1 })
+}
+
+// FuzzTimelineDifferential fuzzes operation sequences against the
+// reference kernels: every probe must match the linear scan exactly and
+// the index must stay consistent after every mutation.
+func FuzzTimelineDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x01, 0xfe, 0x55, 0xaa})
+	seed := make([]byte, 6*(2*gapBlock+5))
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tl := NewTimeline()
+		slack := func(o Owner) float64 { return float64(o.Edge % 3) }
+		for i := 0; i+6 <= len(data); i += 6 {
+			op := data[i] % 4
+			es := float64(data[i+1])*4 + float64(data[i+2])/64
+			pf := es + float64(data[i+3])/8
+			dur := float64(data[i+4])/16 + 0.01
+			req := Request{ES: es, PF: pf, Dur: dur}
+			owner := Owner{Edge: i, Leg: int(data[i+5] % 4)}
+			switch op {
+			case 0, 1:
+				gs, _ := tl.ProbeBasic(req)
+				ws, _ := probeBasicLinear(tl.slots, req)
+				// edgelint:ignore floateq — bit-identity contract.
+				if gs != ws {
+					t.Fatalf("op %d: ProbeBasic %v != reference %v", i, gs, ws)
+				}
+				tl.InsertBasic(owner, req)
+			case 2:
+				os, _, op2 := tl.ProbeOptimal(req, slack)
+				rs, _, rp := probeOptimalLinear(tl.slots, req, slack)
+				// edgelint:ignore floateq — bit-identity contract.
+				if os != rs || op2 != rp {
+					t.Fatalf("op %d: ProbeOptimal (%v, %d) != reference (%v, %d)", i, os, op2, rs, rp)
+				}
+				tl.InsertOptimal(owner, req, slack)
+			case 3:
+				snap := tl.Snapshot()
+				tl.InsertBasic(owner, req)
+				tl.Restore(snap)
+			}
+			if err := tl.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	})
+}

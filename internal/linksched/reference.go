@@ -1,0 +1,93 @@
+package linksched
+
+import (
+	"math"
+
+	"repro/internal/fptime"
+)
+
+// This file keeps the original linear-scan probe kernels as reference
+// oracles. The indexed kernels in timeline.go must return bit-identical
+// results; the differential tests and the fuzz target in
+// differential_test.go drive both against the same slot sequences and
+// compare with exact float equality. The reference functions are
+// package-private and exercised only by tests — production callers go
+// through ProbeBasic/ProbeOptimal.
+
+// earliestGapLinear is the reference earliest-gap search: one pass over
+// the sorted slots tracking the running maximum end, testing each
+// leading gap with the Eps-tolerant fit test.
+func earliestGapLinear(slots []Slot, lb, dur float64) float64 {
+	prevEnd := 0.0
+	for _, s := range slots {
+		gapStart := prevEnd
+		if gapStart < lb {
+			gapStart = lb
+		}
+		if fptime.LeqEps(gapStart+dur, s.Start) {
+			return gapStart
+		}
+		if s.End > prevEnd {
+			prevEnd = s.End
+		}
+	}
+	if prevEnd < lb {
+		return lb
+	}
+	return prevEnd
+}
+
+// probeBasicLinear is ProbeBasic over the reference kernel.
+func probeBasicLinear(slots []Slot, req Request) (start, finish float64) {
+	lb := req.lowerBound()
+	if req.Dur <= 0 {
+		return lb, lb
+	}
+	start = earliestGapLinear(slots, lb, req.Dur)
+	return start, start + req.Dur
+}
+
+// probeOptimalLinear is the reference optimal-insertion probe: the full
+// tail-to-head slack scan with no early exit.
+func probeOptimalLinear(slots []Slot, req Request, slack SlackFunc) (start, finish float64, pos int) {
+	lb := req.lowerBound()
+	if req.Dur <= 0 {
+		return lb, lb, len(slots)
+	}
+	n := len(slots)
+	bestStart := lb
+	if n > 0 && slots[n-1].End > bestStart {
+		bestStart = slots[n-1].End
+	}
+	bestPos := n
+	accum := math.Inf(1)
+	for i := n - 1; i >= 0; i-- {
+		dt := slack(slots[i].Owner)
+		if dt < 0 {
+			dt = 0
+		}
+		gap := math.Inf(1)
+		if i+1 < n {
+			gap = slots[i+1].Start - slots[i].End
+			if gap < 0 {
+				gap = 0
+			}
+		}
+		a := dt
+		if accum+gap < a {
+			a = accum + gap
+		}
+		accum = a
+		sigma := lb
+		if i > 0 && slots[i-1].End > sigma {
+			sigma = slots[i-1].End
+		}
+		if fptime.LeqEps(sigma+req.Dur, slots[i].Start+accum) {
+			if fptime.LeqEps(sigma, bestStart) {
+				bestStart = sigma
+				bestPos = i
+			}
+		}
+	}
+	return bestStart, bestStart + req.Dur, bestPos
+}

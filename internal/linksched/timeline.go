@@ -36,14 +36,52 @@ type Slot struct {
 // Dur returns the slot length.
 func (s Slot) Dur() float64 { return s.End - s.Start }
 
+// gapBlock is the number of slots summarized by one entry of the
+// timeline's block index. Probes touch O(n/gapBlock) summaries plus
+// O(gapBlock) slots in the few blocks that survive pruning, so the
+// sweet spot sits near sqrt(n) for the timeline sizes the scheduler
+// produces; a fixed power of two keeps the index maintenance branch-
+// free and the summaries cache-resident.
+const gapBlock = 32
+
 // Timeline is the occupied-slot queue of one link under exclusive
 // (full-bandwidth, non-preemptive) communication: at most one edge uses
 // the link at a time. Slots are kept sorted by start time and never
 // overlap.
 //
+// Alongside the sorted slots the timeline maintains a block-summary
+// gap index: for each run of gapBlock consecutive slots, the maximum
+// slot end within the block (blkEnd) and the maximum leading idle gap
+// before any slot of the block (blkGap, measuring Start_i - End_{i-1}
+// with End_{-1} = 0). ProbeBasic uses the summaries to skip whole
+// blocks that provably contain no admissible idle interval, which
+// makes the earliest-gap search sublinear while returning bit-
+// identical results to the plain scan (kept as a reference oracle in
+// reference.go and cross-checked by differential tests and fuzzing).
+//
+// The index is maintained incrementally on every mutation — never
+// rebuilt lazily inside a probe — so probes stay strictly read-only:
+// the txn journal, the rollback oracle and the parallel probe forks
+// all rely on Probe* not writing through the receiver.
+//
 // The zero value is an empty timeline ready for use.
 type Timeline struct {
 	slots []Slot
+
+	// Block summaries, len == ceil(len(slots)/gapBlock), or empty while
+	// the timeline fits in a single block (probes take the linear path
+	// there, see reindexFrom). Journaled and cloned together with the
+	// slots (Snapshot/Restore/Clone) so a rollback or fork never leaves
+	// a stale index behind.
+	blkEnd []float64 // max End over the block's slots
+	blkGap []float64 // max leading gap Start_i - End_{i-1} over the block
+
+	// maxAbs is an upper bound on the magnitude of every time that ever
+	// entered this timeline. It scales the conservative slack used when
+	// pruning blocks, keeping the pruned search exactly equivalent to
+	// the reference scan under floating-point rounding. Monotone within
+	// a timeline's lifetime; Restore rewinds it together with the slots.
+	maxAbs float64
 }
 
 // NewTimeline returns an empty timeline.
@@ -98,24 +136,79 @@ func (t *Timeline) ProbeBasic(req Request) (start, finish float64) {
 	if req.Dur <= 0 {
 		return lb, lb
 	}
-	prevEnd := 0.0
-	for _, s := range t.slots {
-		gapStart := prevEnd
-		if gapStart < lb {
-			gapStart = lb
-		}
-		if fptime.LeqEps(gapStart+req.Dur, s.Start) {
-			return gapStart, gapStart + req.Dur
-		}
-		if s.End > prevEnd {
-			prevEnd = s.End
-		}
-	}
-	start = prevEnd
-	if start < lb {
-		start = lb
-	}
+	start = t.earliestGap(lb, req.Dur)
 	return start, start + req.Dur
+}
+
+// earliestGap finds the start of the earliest idle interval of length
+// dur beginning at or after lb, using the block index to skip runs of
+// slots that cannot contain an admissible gap. Skipping is decided by
+// two sufficient conditions, each provably implied by the reference
+// test fptime.LeqEps(gapStart+dur, Start_i):
+//
+//  1. The block's largest Start (its last slot, since slots are
+//     sorted) satisfies Start+Eps < lb+dur. Any admissible gap start
+//     is >= lb and float addition is monotone, so no slot of the
+//     block can pass the reference test.
+//  2. The block's largest leading gap is below dur minus a
+//     conservative slack covering Eps plus the worst-case rounding of
+//     the handful of additions involved (bounded by the magnitude of
+//     the times, tracked in maxAbs). A pass at slot i requires the
+//     exact gap Start_i - End_{i-1} to reach at least that much, so
+//     none can pass.
+//
+// Blocks that survive pruning run the reference loop verbatim, with
+// prevEnd carried over from skipped blocks via their blkEnd summary —
+// a fold of float64 max, which is order-insensitive, so the running
+// value equals the sequential scan's exactly and the returned start is
+// bit-identical to earliestGapLinear.
+func (t *Timeline) earliestGap(lb, dur float64) float64 {
+	n := len(t.slots)
+	if n <= gapBlock {
+		return earliestGapLinear(t.slots, lb, dur)
+	}
+	lbDur := lb + dur
+	mag := t.maxAbs
+	if m := math.Abs(lbDur); m > mag {
+		mag = m
+	}
+	// Threshold for prune (2): gaps below dur-slack can never pass the
+	// Eps-tolerant fit test. The 1e-13 magnitude factor overshoots the
+	// true rounding bound (~1e-15 per addition) by two orders, erring
+	// toward scanning a block rather than ever skipping a feasible one.
+	thr := dur - (Eps + mag*1e-13)
+	prevEnd := 0.0
+	for b := range t.blkEnd {
+		hi := (b + 1) * gapBlock
+		if hi > n {
+			hi = n
+		}
+		// edgelint:ignore floateq — conservative prune; exact fit test
+		// below is authoritative.
+		if t.slots[hi-1].Start+Eps < lbDur || t.blkGap[b] < thr {
+			if e := t.blkEnd[b]; e > prevEnd {
+				prevEnd = e
+			}
+			continue
+		}
+		for i := b * gapBlock; i < hi; i++ {
+			s := t.slots[i]
+			gapStart := prevEnd
+			if gapStart < lb {
+				gapStart = lb
+			}
+			if fptime.LeqEps(gapStart+dur, s.Start) {
+				return gapStart
+			}
+			if s.End > prevEnd {
+				prevEnd = s.End
+			}
+		}
+	}
+	if prevEnd < lb {
+		return lb
+	}
+	return prevEnd
 }
 
 // InsertBasic allocates a slot by the basic insertion policy and
@@ -135,6 +228,81 @@ func (t *Timeline) insertSorted(s Slot) {
 	t.slots = append(t.slots, Slot{})
 	copy(t.slots[i+1:], t.slots[i:])
 	t.slots[i] = s
+	t.reindexFrom(i)
+}
+
+// reindexFrom recomputes the block summaries for every block holding a
+// slot at position pos or later — the suffix a sorted insert or an
+// optimal-insertion shift can have touched — and folds the affected
+// times into maxAbs. O(len(slots) - pos + gapBlock).
+//
+// Timelines of at most one block keep no summaries at all: earliestGap
+// takes the linear path below gapBlock slots anyway, so maintaining an
+// index there is pure insert overhead (BA-style insert-heavy runs with
+// short per-link queues pay it without ever probing through it). Only
+// maxAbs is folded — ProbeOptimal scales its early-exit margin by it
+// at every size. The index is built in full the first time a timeline
+// outgrows one block.
+func (t *Timeline) reindexFrom(pos int) {
+	n := len(t.slots)
+	if n <= gapBlock {
+		t.blkEnd = t.blkEnd[:0]
+		t.blkGap = t.blkGap[:0]
+		mab := t.maxAbs
+		for i := pos; i < n; i++ {
+			if m := math.Abs(t.slots[i].End); m > mab {
+				mab = m
+			}
+			if m := math.Abs(t.slots[i].Start); m > mab {
+				mab = m
+			}
+		}
+		t.maxAbs = mab
+		return
+	}
+	nb := (n + gapBlock - 1) / gapBlock
+	if len(t.blkEnd) == 0 {
+		pos = 0 // first time past one block: build the index in full
+	}
+	for len(t.blkEnd) < nb {
+		t.blkEnd = append(t.blkEnd, 0)
+		t.blkGap = append(t.blkGap, 0)
+	}
+	t.blkEnd = t.blkEnd[:nb]
+	t.blkGap = t.blkGap[:nb]
+	mab := t.maxAbs
+	for b := pos / gapBlock; b < nb; b++ {
+		lo := b * gapBlock
+		hi := lo + gapBlock
+		if hi > n {
+			hi = n
+		}
+		prev := 0.0
+		if lo > 0 {
+			prev = t.slots[lo-1].End
+		}
+		maxEnd := math.Inf(-1)
+		maxGap := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			s := t.slots[i]
+			if g := s.Start - prev; g > maxGap {
+				maxGap = g
+			}
+			if s.End > maxEnd {
+				maxEnd = s.End
+			}
+			prev = s.End
+			if m := math.Abs(s.End); m > mab {
+				mab = m
+			}
+			if m := math.Abs(s.Start); m > mab {
+				mab = m
+			}
+		}
+		t.blkEnd[b] = maxEnd
+		t.blkGap[b] = maxGap
+	}
+	t.maxAbs = mab
 }
 
 // SlackFunc reports the longest deferrable time (Lemma 2) of the slot
@@ -170,6 +338,21 @@ func (t *Timeline) ProbeOptimal(req Request, slack SlackFunc) (start, finish flo
 		bestStart = t.slots[n-1].End
 	}
 	bestPos := n
+	// Early-exit bound for the tail-to-head scan. The deferred
+	// capacity phi_i = Start_i + accum_i is non-increasing toward the
+	// head: accum_{i-1} <= accum_i + gap(i-1, i) and the gap telescopes
+	// against the sorted starts. Feasibility before slot i requires
+	// sigma + Dur <= phi_i + Eps with sigma >= lb, so once phi drops
+	// below lb+Dur by more than a margin covering Eps plus the rounding
+	// accumulated over the walked steps, no earlier position can be
+	// feasible and the scan stops. The margin only delays the break —
+	// extra iterations run the unchanged feasibility test — so results
+	// stay bit-identical to the full reference scan (reference.go).
+	lbDur := lb + req.Dur
+	mag := t.maxAbs
+	if m := math.Abs(lbDur); m > mag {
+		mag = m
+	}
 	// Scan tail to head computing the accumulated deferrable time
 	// accum_i = min(dt_i, accum_{i+1} + gap(i, i+1)) — formula (2) —
 	// and test insertion before slot i with formula (3).
@@ -203,6 +386,11 @@ func (t *Timeline) ProbeOptimal(req Request, slack SlackFunc) (start, finish flo
 				bestStart = sigma
 				bestPos = i
 			}
+		}
+		// edgelint:ignore floateq — conservative break per the phi
+		// monotonicity argument above; never changes the result.
+		if t.slots[i].Start+accum < lbDur-(Eps+mag*1e-13*float64(n-i)) {
+			break
 		}
 	}
 	return bestStart, bestStart + req.Dur, bestPos
@@ -238,7 +426,8 @@ func (t *Timeline) InsertOptimal(owner Owner, req Request, slack SlackFunc) (sta
 }
 
 // Validate checks the timeline's invariants: slots sorted, strictly
-// non-overlapping (up to Eps), with non-negative times.
+// non-overlapping (up to Eps), with non-negative times, and the block
+// index consistent with the slots it summarizes.
 func (t *Timeline) Validate() error {
 	prevEnd := 0.0
 	for i, s := range t.slots {
@@ -252,30 +441,114 @@ func (t *Timeline) Validate() error {
 			prevEnd = s.End
 		}
 	}
+	return t.validateIndex()
+}
+
+// validateIndex recomputes the block summaries and compares them with
+// the maintained ones. Comparisons are exact: the summaries are folds
+// of the same float64 values the recomputation reads, so any mismatch
+// is a maintenance bug, not rounding.
+func (t *Timeline) validateIndex() error {
+	n := len(t.slots)
+	nb := 0
+	if n > gapBlock {
+		nb = (n + gapBlock - 1) / gapBlock
+	}
+	if len(t.blkEnd) != nb || len(t.blkGap) != nb {
+		return fmt.Errorf("linksched: index has %d/%d blocks, want %d", len(t.blkEnd), len(t.blkGap), nb)
+	}
+	if nb == 0 {
+		for i, s := range t.slots {
+			if math.Abs(s.Start) > t.maxAbs || math.Abs(s.End) > t.maxAbs {
+				return fmt.Errorf("linksched: slot %d [%v, %v] exceeds maxAbs %v", i, s.Start, s.End, t.maxAbs)
+			}
+		}
+		return nil
+	}
+	for b := 0; b < nb; b++ {
+		lo := b * gapBlock
+		hi := lo + gapBlock
+		if hi > n {
+			hi = n
+		}
+		prev := 0.0
+		if lo > 0 {
+			prev = t.slots[lo-1].End
+		}
+		maxEnd := math.Inf(-1)
+		maxGap := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			s := t.slots[i]
+			if g := s.Start - prev; g > maxGap {
+				maxGap = g
+			}
+			if s.End > maxEnd {
+				maxEnd = s.End
+			}
+			prev = s.End
+			if m := math.Abs(s.Start); m > t.maxAbs {
+				return fmt.Errorf("linksched: slot %d start %v exceeds maxAbs %v", i, s.Start, t.maxAbs)
+			}
+			if m := math.Abs(s.End); m > t.maxAbs {
+				return fmt.Errorf("linksched: slot %d end %v exceeds maxAbs %v", i, s.End, t.maxAbs)
+			}
+		}
+		// edgelint:ignore floateq — exact equality: same floats, same fold.
+		if t.blkEnd[b] != maxEnd || t.blkGap[b] != maxGap {
+			return fmt.Errorf("linksched: block %d summary (end %v, gap %v) != recomputed (%v, %v)",
+				b, t.blkEnd[b], t.blkGap[b], maxEnd, maxGap)
+		}
+	}
 	return nil
 }
 
 // Snapshot captures the timeline state for later Restore. The snapshot
-// is a value copy; subsequent timeline mutations do not affect it.
+// is a value copy; subsequent timeline mutations do not affect it. The
+// block index travels with the slots so a Restore rewinds both in one
+// copy instead of an O(n) rebuild.
 type Snapshot struct {
-	slots []Slot
+	slots  []Slot
+	blkEnd []float64
+	blkGap []float64
+	maxAbs float64
 }
 
 // Snapshot returns a restorable copy of the current state.
 func (t *Timeline) Snapshot() Snapshot {
-	return Snapshot{slots: append([]Slot(nil), t.slots...)}
+	return t.SnapshotInto(Snapshot{})
+}
+
+// SnapshotInto captures the current state reusing the buffers of a
+// stale snapshot (one that will never be restored again). The probe
+// transaction journal calls it with the snapshot left over from the
+// previous transaction, making steady-state journaling allocation-free.
+func (t *Timeline) SnapshotInto(old Snapshot) Snapshot {
+	return Snapshot{
+		slots:  append(old.slots[:0], t.slots...),
+		blkEnd: append(old.blkEnd[:0], t.blkEnd...),
+		blkGap: append(old.blkGap[:0], t.blkGap...),
+		maxAbs: t.maxAbs,
+	}
 }
 
 // Restore resets the timeline to a previously captured snapshot.
 func (t *Timeline) Restore(s Snapshot) {
 	t.slots = append(t.slots[:0], s.slots...)
+	t.blkEnd = append(t.blkEnd[:0], s.blkEnd...)
+	t.blkGap = append(t.blkGap[:0], s.blkGap...)
+	t.maxAbs = s.maxAbs
 }
 
 // Clone returns an independent deep copy of the timeline: mutations of
 // either copy never affect the other. Used by forked scheduler states
 // probing processor candidates in parallel.
 func (t *Timeline) Clone() *Timeline {
-	return &Timeline{slots: append([]Slot(nil), t.slots...)}
+	return &Timeline{
+		slots:  append([]Slot(nil), t.slots...),
+		blkEnd: append([]float64(nil), t.blkEnd...),
+		blkGap: append([]float64(nil), t.blkGap...),
+		maxAbs: t.maxAbs,
+	}
 }
 
 // LastEnd returns the end of the last occupied slot, or 0 for an empty

@@ -126,6 +126,40 @@ func (o *Opaque) Clone() *Opaque { // want "cannot find how Opaque.Clone builds 
 
 func (o *Opaque) copyVia() *Opaque { return o }
 
+// Gapped mirrors the gap-indexed Timeline: derived index slices
+// (block summaries) are state like any other reference field and must
+// be deep-copied together with the slots — a shared summary array is
+// silently corrupted for both copies by either copy's next insert.
+type Gapped struct {
+	slots  []float64
+	blkEnd []float64
+	blkGap []float64
+	maxAbs float64
+}
+
+func (g *Gapped) Clone() *Gapped {
+	return &Gapped{
+		slots:  append([]float64(nil), g.slots...),
+		blkEnd: append([]float64(nil), g.blkEnd...),
+		blkGap: append([]float64(nil), g.blkGap...),
+		maxAbs: g.maxAbs,
+	}
+}
+
+// GappedLeaky deep-copies the slots but shares the index — the exact
+// bug the Timeline index refactor must never reintroduce.
+type GappedLeaky struct {
+	slots  []float64
+	blkEnd []float64
+}
+
+func (g *GappedLeaky) Clone() *GappedLeaky {
+	return &GappedLeaky{
+		slots:  append([]float64(nil), g.slots...),
+		blkEnd: g.blkEnd, // want "GappedLeaky.Clone shallow-copies reference field blkEnd"
+	}
+}
+
 // Hushed shares deliberately and suppresses both analyzers with one
 // comma-separated ignore directive (no want: the finding must be
 // filtered before expectation checking).

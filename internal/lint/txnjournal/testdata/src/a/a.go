@@ -11,9 +11,11 @@ type LinkID int
 
 type Timeline struct{ slots []float64 }
 
-func (t *Timeline) InsertBasic(x float64) float64 { return x }
-func (t *Timeline) ProbeBasic(x float64) float64  { return x }
-func (t *Timeline) Snapshot() []float64           { return nil }
+func (t *Timeline) InsertBasic(x float64) float64        { return x }
+func (t *Timeline) ProbeBasic(x float64) float64         { return x }
+func (t *Timeline) Snapshot() []float64                  { return nil }
+func (t *Timeline) SnapshotInto(old []float64) []float64 { return nil }
+func (t *Timeline) Reindex(pos int)                      {}
 
 type EdgeSchedule struct {
 	Start, Finish float64
@@ -80,7 +82,23 @@ func (s *state) placeTask(tid TaskID, proc NodeID, cond bool) {
 	s.aliasing(0)
 	s.cowPattern(0)
 	s.elseBranch(cond)
+	s.indexMaintenance(cond)
 	s.ignored(proc)
+}
+
+// indexMaintenance mirrors the gap-indexed timeline: the block-summary
+// index is journaled state like the slots, so rebuilding it is a
+// mutation that needs the same touchTimeline dominance — while the
+// buffer-reusing SnapshotInto keeps the read-only Snapshot prefix and
+// needs none.
+func (s *state) indexMaintenance(cond bool) {
+	if cond {
+		s.touchTimeline(1)
+		s.tl[1].Reindex(1)
+	} else {
+		s.tl[1].Reindex(2) // want "mutating call Reindex on journaled field state.tl is not dominated"
+	}
+	_ = s.tl[1].SnapshotInto(nil)
 }
 
 // helper is reachable from placeTask: its stores are checked.

@@ -318,8 +318,10 @@ func TestRollbackOracleDetectsUnjournaledWrites(t *testing.T) {
 	}
 }
 
-// TestBeginReusesJournalMaps pins the allocation fix: the six journal
-// maps are owned by the state and reused across transactions.
+// TestBeginReusesJournalMaps pins the allocation fix: the six
+// slice-backed journals are owned by the state and reused across
+// transactions. (The name predates the switch from maps to epoch-
+// marked slices; the invariant is the same.)
 func TestBeginReusesJournalMaps(t *testing.T) {
 	g := dag.Chain(2, 1, 10)
 	net := network.Line(2, network.Uniform(1), network.Uniform(1))
@@ -335,8 +337,8 @@ func TestBeginReusesJournalMaps(t *testing.T) {
 	if first == nil {
 		t.Fatal("no reusable journal after the first probe")
 	}
-	if n := len(first.taskOld) + len(first.procOld) + len(first.edgeOld) +
-		len(first.tlSnaps) + len(first.bwSnaps) + len(first.ptlSnaps); n != 0 {
+	if n := first.taskOld.size() + first.procOld.size() + first.edgeOld.size() +
+		first.tlSnaps.size() + first.bwSnaps.size() + first.ptlSnaps.size(); n != 0 {
 		t.Fatalf("rollback left %d journal entries behind", n)
 	}
 	allocs := testing.AllocsPerRun(20, func() {
@@ -349,6 +351,78 @@ func TestBeginReusesJournalMaps(t *testing.T) {
 	if s.txFree != first {
 		t.Fatal("journal not reused across transactions")
 	}
+}
+
+// TestProbeJournalingIsAllocationFree extends the journal-reuse pin
+// from empty transactions to ones that journal real state: after one
+// warm-up round has sized the journal value slots, a transaction that
+// touches every timeline, a task and a processor clock — then rolls
+// back — must not allocate. This pins the SnapshotInto buffer
+// recycling: before it, every touchTimeline allocated a fresh snapshot
+// slot copy, the dominant allocation of the EFT probe loop.
+func TestProbeJournalingIsAllocationFree(t *testing.T) {
+	g := dag.Chain(4, 1, 10)
+	net := network.Line(3, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	p := net.Processors()
+	if _, err := s.placeTask(0, p[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.placeTask(1, p[1]); err != nil {
+		t.Fatal(err)
+	}
+	journalAll := func() {
+		s.begin()
+		for i := range s.tl {
+			s.touchTimeline(network.LinkID(i))
+		}
+		s.touchTask(1)
+		s.touchProc(p[1])
+		s.rollback()
+	}
+	journalAll() // warm up: allocate journal arrays and snapshot buffers
+	if allocs := testing.AllocsPerRun(50, journalAll); allocs != 0 {
+		t.Fatalf("journaling allocates %v times per transaction, want 0", allocs)
+	}
+}
+
+// TestVerifyRollbackEverySamples pins the sampled oracle's cadence:
+// with VerifyRollbackEvery=3, transactions 0, 3, 6, ... capture a
+// fingerprint and the others must not.
+func TestVerifyRollbackEverySamples(t *testing.T) {
+	g := dag.Chain(2, 1, 10)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{VerifyRollbackEvery: 3})
+	for i := 0; i < 9; i++ {
+		s.begin()
+		got := s.tx.fp != nil
+		want := i%3 == 0
+		if got != want {
+			t.Fatalf("transaction %d: fingerprint captured = %v, want %v", i, got, want)
+		}
+		s.rollback()
+	}
+}
+
+// TestVerifyRollbackEveryDetects arms the sampled oracle at N=1 (every
+// transaction) via the sampling path and checks it still catches an
+// un-journaled write — the sampled mode must lose cadence, not teeth.
+func TestVerifyRollbackEveryDetects(t *testing.T) {
+	g := dag.Chain(2, 1, 100)
+	net := network.Line(2, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{VerifyRollbackEvery: 1})
+	p := net.Processors()
+	if _, err := s.placeTask(0, p[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.begin()
+	s.tl[0].InsertBasic(linksched.Owner{Edge: 7, Leg: 0}, linksched.Request{ES: 50, PF: 50, Dur: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sampled rollback oracle missed an un-journaled write")
+		}
+	}()
+	s.rollback()
 }
 
 func TestNestedTxnPanics(t *testing.T) {

@@ -311,6 +311,14 @@ type Options struct {
 	// aid — fingerprinting costs O(state) per probe, so leave it off
 	// in production runs.
 	VerifyRollback bool
+	// VerifyRollbackEvery is the sampled variant of the oracle: when
+	// N > 0 (and VerifyRollback is off), every Nth probe transaction is
+	// fingerprinted instead of all of them. An un-journaled write on
+	// any probe of a deterministic schedule run repeats on the sampled
+	// ones, so sampling keeps the detection power at 1/N of the cost —
+	// cheap enough for ordinary test runs, not just the dedicated
+	// oracle CI job.
+	VerifyRollbackEvery int
 }
 
 // priorityOrder returns the task order selected by the options.
@@ -404,9 +412,13 @@ type state struct {
 
 	tx *txn // active transaction, or nil
 	// txFree is the reusable transaction journal: begin takes it,
-	// rollback clears its maps and leaves it for the next probe, so the
-	// six journal maps are allocated once per state, not per probe.
+	// rollback resets it and leaves it for the next probe, so the six
+	// slice-backed journals are allocated once per state, not per
+	// probe, and their snapshot buffers recycle across probes.
 	txFree *txn
+	// txSeq counts opened transactions, driving the sampled rollback
+	// oracle (Options.VerifyRollbackEvery).
+	txSeq uint64
 
 	// router performs route searches with reused scratch buffers;
 	// routeCache memoizes the static BFS routes and is shared (it is

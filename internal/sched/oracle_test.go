@@ -47,6 +47,39 @@ func oracleAlgorithms() map[string]*sched.ListScheduler {
 // naming the corrupted field). Schedules must additionally be
 // bit-identical at ProbeWorkers 1 and 8 — the oracle must never be a
 // result knob, and neither is parallel probing.
+// TestRollbackOracleSampled runs the paper's presets with the sampled
+// oracle (Options.VerifyRollbackEvery) armed: every 7th probe
+// transaction is fingerprinted. Sampling cuts the oracle's O(state)
+// per-probe cost enough to keep this in the ordinary `go test` run —
+// an un-journaled write in a deterministic scheduler corrupts probes
+// repeatedly, so the sampled fingerprints still catch it — while the
+// exhaustive every-probe property test above stays the CI oracle
+// job's responsibility. The sampled run must also leave results
+// untouched: the schedule is compared against an oracle-free run.
+func TestRollbackOracleSampled(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    40,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
+	})
+	net := network.RandomCluster(r, network.RandomClusterParams{Processors: 6})
+	for name, algo := range oracleAlgorithms() {
+		algo := algo
+		t.Run(name, func(t *testing.T) {
+			run := func(every int) *sched.Schedule {
+				a := sched.NewCustom(algo.AlgorithmName, algo.Opts)
+				a.Opts.VerifyRollbackEvery = every
+				return mustSchedule(t, a, g, net)
+			}
+			base := run(0)
+			if got := run(7); !reflect.DeepEqual(got, base) {
+				t.Fatalf("%s: sampled oracle changed the schedule", name)
+			}
+		})
+	}
+}
+
 func TestRollbackOracleProperty(t *testing.T) {
 	for name, algo := range oracleAlgorithms() {
 		algo := algo

@@ -10,46 +10,51 @@ import (
 // placement touches, so that BA's earliest-finish-time processor probe
 // can be rolled back cheaply: only the timelines, task/edge records and
 // processor clocks actually modified are saved (copy-on-write), not the
-// whole network.
+// whole network. The journals are slice-backed (see journal) and their
+// snapshot buffers are recycled across transactions, so a steady-state
+// probe journals without allocating.
 type txn struct {
-	taskOld  map[dag.TaskID]TaskPlacement
-	procOld  map[network.NodeID]float64
-	edgeOld  map[dag.EdgeID]*EdgeSchedule
-	tlSnaps  map[network.LinkID]linksched.Snapshot
-	bwSnaps  map[network.LinkID]linksched.BWSnapshot
-	ptlSnaps map[network.NodeID]linksched.Snapshot
+	taskOld  journal[TaskPlacement]
+	procOld  journal[float64]
+	edgeOld  journal[*EdgeSchedule]
+	tlSnaps  journal[linksched.Snapshot]
+	bwSnaps  journal[linksched.BWSnapshot]
+	ptlSnaps journal[linksched.Snapshot]
 	// dupsLen is the duplicates count at transaction start; rollback
 	// truncates to it (duplicates are append-only).
 	dupsLen int
 	// fp is the rollback oracle's deep fingerprint of the whole state,
-	// captured at begin when Options.VerifyRollback is set; rollback
-	// re-fingerprints after restoring and panics on any difference,
-	// naming the corrupted field and ID.
+	// captured at begin when Options.VerifyRollback is set (or on every
+	// VerifyRollbackEvery'th transaction); rollback re-fingerprints
+	// after restoring and panics on any difference, naming the
+	// corrupted field and ID.
 	fp *fingerprint
 }
 
-// begin opens a transaction. Transactions do not nest. The journal maps
-// are owned by the state and reused across transactions (cleared by
-// rollback), so a probe transaction allocates nothing in steady state.
+// begin opens a transaction. Transactions do not nest. The journal
+// arrays are owned by the state and reused across transactions, so a
+// probe transaction allocates nothing in steady state.
 func (s *state) begin() {
 	if s.tx != nil {
 		panic("sched: nested transaction")
 	}
 	if s.txFree == nil {
-		s.txFree = &txn{
-			taskOld:  map[dag.TaskID]TaskPlacement{},
-			procOld:  map[network.NodeID]float64{},
-			edgeOld:  map[dag.EdgeID]*EdgeSchedule{},
-			tlSnaps:  map[network.LinkID]linksched.Snapshot{},
-			bwSnaps:  map[network.LinkID]linksched.BWSnapshot{},
-			ptlSnaps: map[network.NodeID]linksched.Snapshot{},
-		}
+		tx := &txn{}
+		tx.taskOld.init(len(s.tasks))
+		tx.procOld.init(len(s.procFinish))
+		tx.edgeOld.init(len(s.edges))
+		tx.tlSnaps.init(len(s.tl))
+		tx.bwSnaps.init(len(s.bw))
+		tx.ptlSnaps.init(len(s.ptl))
+		s.txFree = tx
 	}
 	s.tx = s.txFree
 	s.tx.dupsLen = len(s.dups)
-	if s.opts.VerifyRollback {
+	if s.opts.VerifyRollback ||
+		(s.opts.VerifyRollbackEvery > 0 && s.txSeq%uint64(s.opts.VerifyRollbackEvery) == 0) {
 		s.tx.fp = s.captureFingerprint()
 	}
+	s.txSeq++
 }
 
 // rollback restores everything the transaction touched and closes it.
@@ -58,24 +63,24 @@ func (s *state) rollback() {
 	if tx == nil {
 		return
 	}
-	for id, old := range tx.taskOld {
+	tx.taskOld.each(func(id int32, old TaskPlacement) {
 		s.tasks[id] = old
-	}
-	for id, old := range tx.procOld {
+	})
+	tx.procOld.each(func(id int32, old float64) {
 		s.procFinish[id] = old
-	}
-	for id, old := range tx.edgeOld {
+	})
+	tx.edgeOld.each(func(id int32, old *EdgeSchedule) {
 		s.edges[id] = old
-	}
-	for id, snap := range tx.tlSnaps {
+	})
+	tx.tlSnaps.each(func(id int32, snap linksched.Snapshot) {
 		s.tl[id].Restore(snap)
-	}
-	for id, snap := range tx.bwSnaps {
+	})
+	tx.bwSnaps.each(func(id int32, snap linksched.BWSnapshot) {
 		s.bw[id].Restore(snap)
-	}
-	for id, snap := range tx.ptlSnaps {
+	})
+	tx.ptlSnaps.each(func(id int32, snap linksched.Snapshot) {
 		s.ptl[id].Restore(snap)
-	}
+	})
 	if len(s.dups) > tx.dupsLen {
 		s.dups = s.dups[:tx.dupsLen]
 	}
@@ -86,12 +91,12 @@ func (s *state) rollback() {
 			panic("sched: incomplete rollback (un-journaled write?): " + d)
 		}
 	}
-	clear(tx.taskOld)
-	clear(tx.procOld)
-	clear(tx.edgeOld)
-	clear(tx.tlSnaps)
-	clear(tx.bwSnaps)
-	clear(tx.ptlSnaps)
+	tx.taskOld.reset()
+	tx.procOld.reset()
+	tx.edgeOld.reset()
+	tx.tlSnaps.reset()
+	tx.bwSnaps.reset()
+	tx.ptlSnaps.reset()
 	s.tx = nil
 }
 
@@ -100,8 +105,8 @@ func (s *state) touchTask(id dag.TaskID) {
 	if s.tx == nil {
 		return
 	}
-	if _, ok := s.tx.taskOld[id]; !ok {
-		s.tx.taskOld[id] = s.tasks[id]
+	if !s.tx.taskOld.has(int(id)) {
+		s.tx.taskOld.put(int(id), s.tasks[id])
 	}
 }
 
@@ -110,8 +115,8 @@ func (s *state) touchProc(id network.NodeID) {
 	if s.tx == nil {
 		return
 	}
-	if _, ok := s.tx.procOld[id]; !ok {
-		s.tx.procOld[id] = s.procFinish[id]
+	if !s.tx.procOld.has(int(id)) {
+		s.tx.procOld.put(int(id), s.procFinish[id])
 	}
 }
 
@@ -121,8 +126,8 @@ func (s *state) touchEdge(id dag.EdgeID) {
 	if s.tx == nil {
 		return
 	}
-	if _, ok := s.tx.edgeOld[id]; !ok {
-		s.tx.edgeOld[id] = s.edges[id]
+	if !s.tx.edgeOld.has(int(id)) {
+		s.tx.edgeOld.put(int(id), s.edges[id])
 	}
 }
 
@@ -137,9 +142,9 @@ func (s *state) cowEdge(id dag.EdgeID) *EdgeSchedule {
 	if s.tx == nil || cur == nil {
 		return cur
 	}
-	if old, ok := s.tx.edgeOld[id]; !ok {
-		s.tx.edgeOld[id] = cur // journal now; clone below
-	} else if old != cur {
+	if !s.tx.edgeOld.has(int(id)) {
+		s.tx.edgeOld.put(int(id), cur) // journal now; clone below
+	} else if s.tx.edgeOld.vals[id] != cur {
 		return cur // created or already cloned inside this transaction
 	}
 	cl := *cur
@@ -149,13 +154,15 @@ func (s *state) cowEdge(id dag.EdgeID) *EdgeSchedule {
 	return &cl
 }
 
-// touchTimeline journals a slot timeline before modification.
+// touchTimeline journals a slot timeline before modification. The
+// snapshot reuses the buffers left in the journal's value slot by an
+// earlier transaction, so steady-state journaling is allocation-free.
 func (s *state) touchTimeline(id network.LinkID) {
 	if s.tx == nil {
 		return
 	}
-	if _, ok := s.tx.tlSnaps[id]; !ok {
-		s.tx.tlSnaps[id] = s.tl[id].Snapshot()
+	if !s.tx.tlSnaps.has(int(id)) {
+		s.tx.tlSnaps.put(int(id), s.tl[id].SnapshotInto(s.tx.tlSnaps.stale(int(id))))
 	}
 }
 
@@ -169,8 +176,8 @@ func (s *state) touchProcTimeline(id network.NodeID) {
 	if s.tx == nil {
 		return
 	}
-	if _, ok := s.tx.ptlSnaps[id]; !ok {
-		s.tx.ptlSnaps[id] = s.ptl[id].Snapshot()
+	if !s.tx.ptlSnaps.has(int(id)) {
+		s.tx.ptlSnaps.put(int(id), s.ptl[id].SnapshotInto(s.tx.ptlSnaps.stale(int(id))))
 	}
 }
 
@@ -179,7 +186,7 @@ func (s *state) touchBWTimeline(id network.LinkID) {
 	if s.tx == nil {
 		return
 	}
-	if _, ok := s.tx.bwSnaps[id]; !ok {
-		s.tx.bwSnaps[id] = s.bw[id].Snapshot()
+	if !s.tx.bwSnaps.has(int(id)) {
+		s.tx.bwSnaps.put(int(id), s.bw[id].SnapshotInto(s.tx.bwSnaps.stale(int(id))))
 	}
 }
