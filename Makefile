@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiment ./internal/sched ./internal/network ./internal/linksched
+	$(GO) test -race -short ./...
 
 lint:
 	$(GO) run ./cmd/edgelint ./...

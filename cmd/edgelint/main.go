@@ -5,6 +5,7 @@
 //
 //	aliasret      methods on cloned/immutable types returning internal slices/maps
 //	clonecheck    Clone methods that shallow-copy reference-bearing fields
+//	detfold       order-dependent float folds in map/channel/select merges
 //	errflow       dropped errors from this module's exported APIs
 //	floateq       bare float64 time/cost comparisons (use internal/fptime)
 //	immutable     writes to edgelint:immutable types outside their constructors
@@ -13,11 +14,18 @@
 //	txnjournal    un-journaled stores to transactional scheduler state
 //	verifysched   test schedules that never pass through verify.Verify
 //
+// Packages are analyzed in dependency order and share one fact store,
+// so marker facts and function summaries exported while analyzing a
+// package are visible when its importers are analyzed: the analyzers
+// see through package boundaries.
+//
 // Usage:
 //
-//	go run ./cmd/edgelint [-list] [-only name,name] [patterns...]
+//	go run ./cmd/edgelint [-list] [-json] [-only name,name] [patterns...]
 //
-// Diagnostics print as file:line:col: message (analyzer). A finding on
+// Diagnostics print as file:line:col: message (analyzer), ordered by
+// file, line, column, analyzer; -json emits the same findings as a
+// JSON array of {file,line,col,analyzer,message} objects. A finding on
 // a given line can be suppressed, with justification, by
 //
 //	// edgelint:ignore <analyzer> — <reason>
@@ -27,15 +35,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
 	"repro/internal/lint/aliasret"
 	"repro/internal/lint/clonecheck"
+	"repro/internal/lint/detfold"
 	"repro/internal/lint/errflow"
 	"repro/internal/lint/floateq"
 	"repro/internal/lint/immutable"
@@ -49,6 +60,7 @@ import (
 var all = []*lint.Analyzer{
 	aliasret.Analyzer,
 	clonecheck.Analyzer,
+	detfold.Analyzer,
 	errflow.Analyzer,
 	floateq.Analyzer,
 	immutable.Analyzer,
@@ -61,6 +73,7 @@ var all = []*lint.Analyzer{
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	flag.Parse()
 
 	if *list {
@@ -83,8 +96,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgelint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "edgelint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "edgelint: %d finding(s)\n", len(diags))
@@ -112,27 +132,85 @@ func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
 	for _, name := range strings.Split(only, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+			names := make([]string, len(all))
+			for i, a := range all {
+				names[i] = a.Name
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)",
+				name, strings.Join(names, ", "))
 		}
 		picked = append(picked, a)
 	}
 	return picked, nil
 }
 
+// jsonDiag is the -json wire shape of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics as an indented JSON array (an empty
+// run prints [], not null, so consumers can range unconditionally).
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // runLint loads the packages (with test files, like go vet) and applies
-// the analyzers to every unit.
+// the analyzers to every unit. Units arrive in dependency order from
+// LoadPackages and share one fact store, so facts exported while
+// analyzing a package are importable when its dependents run.
 func runLint(dir string, patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
 	units, err := lint.LoadPackages(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	facts := lint.NewFacts()
 	var diags []lint.Diagnostic
 	for _, u := range units {
-		ds, err := u.Run(analyzers)
+		ds, err := u.RunWith(analyzers, facts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", u.Path, err)
 		}
 		diags = append(diags, ds...)
 	}
+	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// sortDiagnostics fixes the report order — file, line, column,
+// analyzer — so output is deterministic and independent of the
+// dependency order the units were analyzed in.
+func sortDiagnostics(diags []lint.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }

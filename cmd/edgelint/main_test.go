@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // TestRepoIsClean runs the whole suite over the repository itself: the
@@ -60,11 +64,84 @@ func TestSelectAnalyzers(t *testing.T) {
 	if len(picked) != 2 || picked[0].Name != "floateq" || picked[1].Name != "errflow" {
 		t.Fatalf("picked %v", picked)
 	}
-	if _, err := selectAnalyzers("nonsense"); err == nil {
-		t.Fatal("unknown analyzer accepted")
-	}
 	every, err := selectAnalyzers("")
 	if err != nil || len(every) != len(all) {
 		t.Fatalf("empty -only must select the full suite, got %d, %v", len(every), err)
+	}
+}
+
+// TestSelectAnalyzersUnknown pins the rejection contract: an unknown
+// name errors (the driver exits non-zero on it) and the message names
+// every valid analyzer so the caller can fix the flag without -list.
+func TestSelectAnalyzersUnknown(t *testing.T) {
+	_, err := selectAnalyzers("nonsense")
+	if err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"nonsense"`) {
+		t.Errorf("error %q does not name the offending analyzer", msg)
+	}
+	for _, a := range all {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error %q does not list valid analyzer %s", msg, a.Name)
+		}
+	}
+}
+
+// TestSortDiagnostics pins the deterministic report order: file, then
+// line, then column, then analyzer.
+func TestSortDiagnostics(t *testing.T) {
+	mk := func(file string, line, col int, an string) lint.Diagnostic {
+		return lint.Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: an,
+		}
+	}
+	diags := []lint.Diagnostic{
+		mk("b.go", 1, 1, "floateq"),
+		mk("a.go", 2, 1, "txnjournal"),
+		mk("a.go", 2, 1, "immutable"),
+		mk("a.go", 1, 9, "floateq"),
+	}
+	sortDiagnostics(diags)
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Pos.Filename+":"+d.Analyzer)
+	}
+	want := []string{"a.go:floateq", "a.go:immutable", "a.go:txnjournal", "b.go:floateq"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWriteJSON checks the -json wire shape, including that an empty
+// run encodes as [] rather than null.
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	diags := []lint.Diagnostic{{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "detfold",
+		Message:  "order-dependent float accumulation",
+	}}
+	if err := writeJSON(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonDiag
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(got) != 1 || got[0] != (jsonDiag{"x.go", 3, 7, "detfold", "order-dependent float accumulation"}) {
+		t.Fatalf("round-trip %+v", got)
+	}
+
+	b.Reset()
+	if err := writeJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(b.String()); s != "[]" {
+		t.Fatalf("empty run encodes as %q, want []", s)
 	}
 }

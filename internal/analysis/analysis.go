@@ -209,9 +209,17 @@ func analyzeUtilization(s *sched.Schedule, r *Report) {
 			}
 		}
 	}
+	// Scan links in ID order: map iteration would pick an arbitrary
+	// BusiestLink among exact-utilization ties; first-wins over the
+	// sorted IDs pins ties to the lowest link ID.
+	ids := make([]network.LinkID, 0, len(busy))
+	for id := range busy {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var links []float64
-	for id, b := range busy {
-		u := b / s.Makespan
+	for _, id := range ids {
+		u := busy[id] / s.Makespan
 		links = append(links, u)
 		if u > r.BusiestLinkUtil {
 			r.BusiestLinkUtil = u

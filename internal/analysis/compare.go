@@ -71,9 +71,11 @@ func Compare(a, b *sched.Schedule) (*Comparison, error) {
 	if n := len(a.Tasks); n > 0 {
 		c.MeanStartShift = shift / float64(n)
 	}
+	// Sum in processor-list order: float addition over map iteration
+	// would make totalWork (and ProcLoadShift) vary run to run.
 	totalWork := 0.0
-	for _, w := range loadA {
-		totalWork += w
+	for _, p := range a.Net.Processors() {
+		totalWork += loadA[p]
 	}
 	if totalWork > 0 {
 		diff := 0.0

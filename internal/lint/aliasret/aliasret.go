@@ -16,7 +16,6 @@ package aliasret
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"repro/internal/lint"
@@ -29,10 +28,6 @@ var Analyzer = &lint.Analyzer{
 }
 
 func run(pass *lint.Pass) error {
-	scope := scopedTypes(pass)
-	if len(scope) == 0 {
-		return nil
-	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -45,7 +40,7 @@ func run(pass *lint.Pass) error {
 			}
 			sig := obj.Type().(*types.Signature)
 			recv := lint.NamedOf(sig.Recv().Type())
-			if recv == nil || !scope[recv.Obj()] {
+			if recv == nil || !inScope(pass, recv) {
 				continue
 			}
 			recvObj := receiverObj(pass, fd)
@@ -58,57 +53,18 @@ func run(pass *lint.Pass) error {
 	return nil
 }
 
-// scopedTypes collects the package's types whose internals must not
-// leak: those with a Clone/clone method and those marked
-// edgelint:immutable.
-func scopedTypes(pass *lint.Pass) map[*types.TypeName]bool {
-	scope := map[*types.TypeName]bool{}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if d.Recv == nil || (d.Name.Name != "Clone" && d.Name.Name != "clone") {
-					continue
-				}
-				obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				sig := obj.Type().(*types.Signature)
-				if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
-					continue
-				}
-				if recv := lint.NamedOf(sig.Recv().Type()); recv != nil {
-					scope[recv.Obj()] = true
-				}
-			case *ast.GenDecl:
-				if d.Tok != token.TYPE {
-					continue
-				}
-				for _, s := range d.Specs {
-					ts, ok := s.(*ast.TypeSpec)
-					if !ok {
-						continue
-					}
-					doc := ts.Doc
-					if doc == nil && len(d.Specs) == 1 {
-						doc = d.Doc
-					}
-					if doc == nil {
-						continue
-					}
-					for _, c := range doc.List {
-						if _, ok := lint.Directive(c.Text, "immutable"); ok {
-							if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
-								scope[obj] = true
-							}
-						}
-					}
-				}
-			}
-		}
+// inScope reports whether the receiver type's internals must not leak:
+// it declares a Clone/clone method or is marked edgelint:immutable.
+// Both classifications come from the fact store, exported by the
+// framework's marker pre-pass — so methods declared in a different
+// file, or scope established by markers the package cannot even see in
+// source (imported type aliases), resolve uniformly.
+func inScope(pass *lint.Pass, recv *types.Named) bool {
+	if _, ok := pass.ImportFact(lint.FactHasClone, recv.Obj()); ok {
+		return true
 	}
-	return scope
+	_, ok := pass.ImportFact(lint.FactImmutable, recv.Obj())
+	return ok
 }
 
 // receiverObj resolves the receiver variable object of a method decl,

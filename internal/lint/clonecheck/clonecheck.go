@@ -17,6 +17,12 @@
 //
 //	routeCache *network.RouteCache // edgelint:shared — concurrency-safe LRU
 //
+// The annotation is consumed through the fact store, so it also
+// protects Clone methods in packages importing the annotated type; a
+// field whose type carries an edgelint:immutable fact (local or
+// imported) is implicitly shareable — frozen values cannot diverge
+// between the original and the clone.
+//
 // A Clone whose construction the analyzer cannot follow (no composite
 // literal, new(T), or dereferencing copy of the receiver) is itself
 // reported, so the check fails loud rather than silently passing.
@@ -92,7 +98,25 @@ func checkClone(pass *lint.Pass, fd *ast.FuncDecl, named *types.Named, st *types
 	if len(refFields) == 0 {
 		return
 	}
-	shared := sharedFields(pass, named)
+	// Shared-field annotations arrive as facts from the framework's
+	// marker pre-pass — the same mechanism that carries annotations on
+	// imported types. A field whose own type is marked
+	// edgelint:immutable is implicitly safe to share: frozen values
+	// cannot diverge between the original and the clone.
+	shared := map[string]bool{}
+	if fact, ok := pass.ImportFact(lint.FactShared, named.Obj()); ok {
+		for name := range fact.(lint.SharedFields) {
+			shared[name] = true
+		}
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if n := lint.NamedOf(f.Type()); n != nil {
+			if _, ok := pass.ImportFact(lint.FactImmutable, n.Obj()); ok {
+				shared[f.Name()] = true
+			}
+		}
+	}
 	fresh := lint.NewFreshness(pass.TypesInfo, fd.Body)
 
 	cons := findConstructions(pass, fd, named)
@@ -287,74 +311,4 @@ func setStatus(status map[string]int, pos map[string]token.Pos, name string, rhs
 		status[name] = statusShallow
 	}
 	pos[name] = rhs.Pos()
-}
-
-// sharedFields collects the field names of named's struct declaration
-// annotated shared-by-design: an "edgelint:shared" directive on the
-// field's own doc or line comment marks that field; a directive on the
-// type's doc comment marks the fields it names as arguments.
-func sharedFields(pass *lint.Pass, named *types.Named) map[string]bool {
-	shared := map[string]bool{}
-	spec, structAST := findStructDecl(pass, named)
-	if spec == nil || structAST == nil {
-		return shared
-	}
-	if spec.Doc != nil {
-		for _, c := range spec.Doc.List {
-			if args, ok := lint.Directive(c.Text, "shared"); ok {
-				for _, a := range args {
-					shared[a] = true
-				}
-			}
-		}
-	}
-	for _, f := range structAST.Fields.List {
-		marked := false
-		for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
-			if cg == nil {
-				continue
-			}
-			for _, c := range cg.List {
-				if _, ok := lint.Directive(c.Text, "shared"); ok {
-					marked = true
-				}
-			}
-		}
-		if !marked {
-			continue
-		}
-		for _, name := range f.Names {
-			shared[name.Name] = true
-		}
-		if len(f.Names) == 0 { // embedded field
-			if n := lint.NamedOf(pass.TypesInfo.Types[f.Type].Type); n != nil {
-				shared[n.Obj().Name()] = true
-			}
-		}
-	}
-	return shared
-}
-
-// findStructDecl locates the AST type spec declaring named.
-func findStructDecl(pass *lint.Pass, named *types.Named) (*ast.TypeSpec, *ast.StructType) {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, s := range gd.Specs {
-				ts, ok := s.(*ast.TypeSpec)
-				if !ok || pass.TypesInfo.Defs[ts.Name] != named.Obj() {
-					continue
-				}
-				st, _ := ts.Type.(*ast.StructType)
-				if ts.Doc == nil && gd.Doc != nil && len(gd.Specs) == 1 {
-					ts.Doc = gd.Doc
-				}
-				return ts, st
-			}
-		}
-	}
-	return nil, nil
 }

@@ -10,3 +10,10 @@ import (
 func TestCloneCheck(t *testing.T) {
 	linttest.Run(t, clonecheck.Analyzer, "a")
 }
+
+// TestCloneCheckCrossPackage checks that annotations on imported types
+// arrive as facts: xa's immutable mark exempts xb's frozen field while
+// the unannotated imported Records type is still flagged.
+func TestCloneCheckCrossPackage(t *testing.T) {
+	linttest.Run(t, clonecheck.Analyzer, "xa", "xb")
+}

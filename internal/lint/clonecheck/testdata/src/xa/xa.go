@@ -1,0 +1,21 @@
+// Package xa declares annotated types imported by package xb's Clone:
+// the immutable mark must reach xb as a fact and exempt the field that
+// shares a Frozen across clones.
+package xa
+
+// Frozen is an immutable input shared by every fork.
+// edgelint:immutable NewFrozen
+type Frozen struct {
+	Weights []float64
+}
+
+// NewFrozen is the declared constructor.
+func NewFrozen(w []float64) *Frozen {
+	return &Frozen{Weights: append([]float64(nil), w...)}
+}
+
+// Records is a plain mutable container: sharing it across clones is
+// exactly the bug clonecheck exists for.
+type Records struct {
+	M map[int]int
+}

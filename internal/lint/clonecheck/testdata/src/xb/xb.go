@@ -1,0 +1,20 @@
+// Package xb forks state holding types imported from xa. Frozen is
+// exempt through xa's edgelint:immutable fact; Records is mutable and
+// must be deep-copied.
+package xb
+
+import "xa"
+
+type state struct {
+	frozen *xa.Frozen  // exempt: immutable fact imported from xa
+	recs   *xa.Records // mutable: must not be shared
+	ids    []int
+}
+
+func (s *state) Clone() *state {
+	return &state{
+		frozen: s.frozen,
+		recs:   s.recs, // want "state.Clone shallow-copies reference field recs; deep-copy it or annotate the field with edgelint:shared"
+		ids:    append([]int(nil), s.ids...),
+	}
+}

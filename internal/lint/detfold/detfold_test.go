@@ -1,0 +1,19 @@
+package detfold_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detfold"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetFold(t *testing.T) {
+	linttest.Run(t, detfold.Analyzer, "a")
+}
+
+// TestDetFoldCrossPackage checks that the edgelint:detfold mark on
+// xa.Better travels as a fact: xb's map merge is conforming only
+// through that delegation.
+func TestDetFoldCrossPackage(t *testing.T) {
+	linttest.Run(t, detfold.Analyzer, "xa", "xb")
+}

@@ -1,0 +1,12 @@
+// Stub of repro/internal/fptime for the detfold fixtures: the epsilon
+// comparison helpers the deterministic-fold contract is written in.
+package fptime
+
+const Eps = 1e-9
+
+func LessEps(a, b float64) bool { return a < b-Eps }
+
+func EqEps(a, b float64) bool {
+	d := a - b
+	return d < Eps && d > -Eps
+}

@@ -1,0 +1,17 @@
+// Package xa exports the deterministic-fold predicate. The
+// edgelint:detfold mark is exported as a fact, so importing packages
+// may delegate their merge-ordering decisions to Better.
+package xa
+
+import "repro/internal/fptime"
+
+// Better reports whether candidate (f, id) beats the incumbent
+// (bestF, bestID) under the deterministic fold contract: epsilon-less
+// wins, epsilon-equal falls back to the lower ID.
+// edgelint:detfold
+func Better(f float64, id int, bestF float64, bestID int) bool {
+	if bestID < 0 {
+		return true
+	}
+	return fptime.LessEps(f, bestF) || (fptime.EqEps(f, bestF) && id < bestID)
+}

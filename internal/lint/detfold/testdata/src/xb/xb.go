@@ -1,0 +1,26 @@
+// Package xb merges over map iteration in one package while the fold
+// predicate lives in another: the delegation is recognized only
+// because xa.Better's edgelint:detfold mark arrived as a fact.
+package xb
+
+import "xa"
+
+func merge(m map[int]float64) (int, float64) {
+	bestID, bestF := -1, 0.0
+	for id, f := range m {
+		if xa.Better(f, id, bestF, bestID) { // delegated to a marked fold: conforming
+			bestID, bestF = id, f
+		}
+	}
+	return bestID, bestF
+}
+
+func badMerge(m map[int]float64) (int, float64) {
+	bestID, bestF := -1, 0.0
+	for id, f := range m {
+		if f < bestF { // want "selection of bestF in a map iteration compares floats bare"
+			bestID, bestF = id, f
+		}
+	}
+	return bestID, bestF
+}

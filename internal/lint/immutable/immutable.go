@@ -16,15 +16,18 @@
 // or a route builder) are permitted: immutability freezes values after
 // they escape, not while they are built.
 //
-// The marker is visible only within the declaring package (the
-// framework analyzes one package at a time and comments do not survive
-// export data), which matches how these types are protected anyway:
-// their fields are unexported, so cross-package writes cannot compile.
+// Markers cross package boundaries as facts: the framework's marker
+// pre-pass exports each edgelint:immutable directive, the driver
+// analyzes packages in dependency order, and this analyzer imports the
+// fact through whatever named type a write reaches — so a write to an
+// exported field of dag.Graph from another package is flagged even
+// though the directive comment does not survive export data.
+// Constructor allowances are scoped to the declaring package: AddTask
+// may write dag.Graph only inside internal/dag.
 package immutable
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 
@@ -37,87 +40,29 @@ var Analyzer = &lint.Analyzer{
 	Run:  run,
 }
 
-// marker is one edgelint:immutable declaration.
-type marker struct {
-	named *types.Named
-	ctors map[string]bool // function names allowed to write
-}
-
 func run(pass *lint.Pass) error {
-	markers := collectMarkers(pass)
-	if len(markers) == 0 {
-		return nil
-	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, markers, fd)
+			checkFunc(pass, fd)
 		}
 	}
 	return nil
 }
 
-// collectMarkers finds edgelint:immutable directives on type
-// declarations in this package.
-func collectMarkers(pass *lint.Pass) map[*types.TypeName]*marker {
-	markers := map[*types.TypeName]*marker{}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, s := range gd.Specs {
-				ts, ok := s.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				doc := ts.Doc
-				if doc == nil && len(gd.Specs) == 1 {
-					doc = gd.Doc
-				}
-				if doc == nil {
-					continue
-				}
-				var ctors []string
-				found := false
-				for _, c := range doc.List {
-					if args, ok := lint.Directive(c.Text, "immutable"); ok {
-						found = true
-						ctors = append(ctors, args...)
-					}
-				}
-				if !found {
-					continue
-				}
-				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
-				if !ok {
-					continue
-				}
-				named, ok := obj.Type().(*types.Named)
-				if !ok {
-					continue
-				}
-				m := &marker{named: named, ctors: map[string]bool{}}
-				for _, c := range ctors {
-					m.ctors[c] = true
-				}
-				markers[obj] = m
-			}
-		}
-	}
-	return markers
-}
-
-// checkFunc flags writes through marked types in one function. A
-// function named in a type's constructor list may write that type;
-// closures inside it inherit the allowance (they are part of the
-// construction).
-func checkFunc(pass *lint.Pass, markers map[*types.TypeName]*marker, fd *ast.FuncDecl) {
-	fresh := lint.NewFreshness(pass.TypesInfo, fd.Body)
+// checkFunc flags writes through marked types in one function. The
+// marks come from the fact store, so locally declared and imported
+// immutable types are enforced identically. A function named in a
+// type's constructor list — and declared in the type's own package —
+// may write that type; closures inside it inherit the allowance (they
+// are part of the construction).
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	// Built lazily: most functions never touch a marked type and the
+	// freshness scan is the expensive part.
+	var fresh *lint.Freshness
 	for _, w := range lint.Writes(pass.TypesInfo, fd.Body) {
 		root, owners := lint.DecomposePath(pass.TypesInfo, w.Expr)
 		// The written expression's own named type matters for appends
@@ -130,12 +75,16 @@ func checkFunc(pass *lint.Pass, markers map[*types.TypeName]*marker, fd *ast.Fun
 			}
 		}
 		for _, owner := range owners {
-			m := markers[owner.Obj()]
-			if m == nil {
+			fact, ok := pass.ImportFact(lint.FactImmutable, owner.Obj())
+			if !ok {
 				continue
 			}
-			if m.ctors[fd.Name.Name] {
+			m := fact.(*lint.ImmutableMark)
+			if m.Allows(pass.Pkg.Path(), fd.Name.Name) {
 				continue
+			}
+			if fresh == nil {
+				fresh = lint.NewFreshness(pass.TypesInfo, fd.Body)
 			}
 			if fresh.IsFresh(root) {
 				continue // still under construction
@@ -145,13 +94,11 @@ func checkFunc(pass *lint.Pass, markers map[*types.TypeName]*marker, fd *ast.Fun
 				"copy": "copy into", "append": "append through",
 			}[w.Kind]
 			allowed := "no declared constructors"
-			if len(m.ctors) > 0 {
-				names := make([]string, 0, len(m.ctors))
-				for n := range m.ctors {
-					names = append(names, n)
+			if ctors := m.CtorList(); len(ctors) > 0 {
+				allowed = "allowed writers: " + strings.Join(ctors, ", ")
+				if m.Pkg != pass.Pkg.Path() {
+					allowed += " in " + m.Pkg
 				}
-				sortStrings(names)
-				allowed = "allowed writers: " + strings.Join(names, ", ")
 			}
 			pass.Reportf(w.Pos,
 				"%s %s, which is marked edgelint:immutable, outside its constructors (%s)",
@@ -166,14 +113,4 @@ func exprType(pass *lint.Pass, e ast.Expr) types.Type {
 		return tv.Type
 	}
 	return nil
-}
-
-// sortStrings is an insertion sort; the ctor lists are tiny and this
-// avoids importing sort for one call.
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

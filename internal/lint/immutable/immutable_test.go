@@ -10,3 +10,9 @@ import (
 func TestImmutable(t *testing.T) {
 	linttest.Run(t, immutable.Analyzer, "a")
 }
+
+// TestImmutableCrossPackage checks that edgelint:immutable markers
+// reach importing packages as facts: xb writes xa's marked types.
+func TestImmutableCrossPackage(t *testing.T) {
+	linttest.Run(t, immutable.Analyzer, "xa", "xb")
+}

@@ -1,0 +1,29 @@
+// Package xa declares immutable-marked types imported by package xb;
+// the markers must reach xb through the fact store, since this is
+// exactly the dag.Graph / network.Topology situation: the directive
+// comment does not survive export data.
+package xa
+
+// Graph is a task graph frozen once handed out.
+// edgelint:immutable NewGraph AddTask — construction API only
+type Graph struct {
+	Tasks []int
+	Costs map[int]float64
+}
+
+// NewGraph is a declared constructor.
+func NewGraph() *Graph {
+	g := &Graph{Costs: map[int]float64{}}
+	g.Tasks = append(g.Tasks, 0)
+	return g
+}
+
+// AddTask is a declared constructor.
+func (g *Graph) AddTask(id int, cost float64) {
+	g.Tasks = append(g.Tasks, id)
+	g.Costs[id] = cost
+}
+
+// Route is a marked named slice with no declared constructors.
+// edgelint:immutable
+type Route []int

@@ -57,8 +57,26 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the run-wide fact store (see facts.go): marker facts
+	// exported by the framework pre-pass plus whatever summaries
+	// earlier-analyzed units exported. Shared by every unit of one
+	// driver run, so facts exported here are visible to units analyzed
+	// later in dependency order.
+	Facts *Facts
 
 	diags *[]Diagnostic
+}
+
+// ExportFact records a fact about obj for downstream units (and later
+// analyzers of this unit) to import.
+func (p *Pass) ExportFact(kind string, obj types.Object, fact any) {
+	p.Facts.Export(kind, obj, fact)
+}
+
+// ImportFact retrieves a fact about obj, whether obj is local or
+// reached through any number of imports.
+func (p *Pass) ImportFact(kind string, obj types.Object) (any, bool) {
+	return p.Facts.Import(kind, obj)
 }
 
 // Reportf records a diagnostic at pos.
@@ -84,9 +102,25 @@ type Unit struct {
 	Info  *types.Info
 }
 
-// Run applies the analyzers to the unit and returns the diagnostics
-// that survive ignore directives, sorted by position.
+// Run applies the analyzers to the unit with a fresh fact store and
+// returns the diagnostics that survive ignore directives, sorted by
+// position. Single-unit analysis only sees the unit's own facts; a
+// driver that wants cross-package facts threads one store through
+// RunWith over all units in dependency order.
 func (u *Unit) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	return u.RunWith(analyzers, NewFacts())
+}
+
+// RunWith is Run with a caller-owned fact store. The framework marker
+// pre-pass (ExportMarkers) runs first, so the unit's directive facts
+// are in the store before any analyzer sees the unit; the analyzers
+// then run in order, each able to import facts exported by earlier
+// units and to export its own.
+func (u *Unit) RunWith(analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
+	ExportMarkers(u, facts)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -95,6 +129,7 @@ func (u *Unit) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
+			Facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

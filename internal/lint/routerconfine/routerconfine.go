@@ -27,9 +27,24 @@ var Analyzer = &lint.Analyzer{
 		"its own Router (the per-fork pattern in internal/sched/fork.go). " +
 		"Flags Routers captured by go statements, sent on channels, stored " +
 		"into structs, collections or package-level variables by aliasing, " +
-		"or escaping into interface values. Annotate deliberate exclusive " +
-		"handoffs with `edgelint:ignore routerconfine — reason`.",
+		"or escaping into interface values. Functions that hand a Router " +
+		"parameter to a goroutine they spawn export a summary fact, so call " +
+		"sites — including ones in other packages — must pass an argument " +
+		"the caller does not retain. Annotate deliberate exclusive handoffs " +
+		"with `edgelint:ignore routerconfine — reason`.",
 	Run: run,
+}
+
+// FactSummary is the fact kind carrying a function's goroutine-capture
+// summary: Params[i] is true when the function spawns a goroutine that
+// captures its i-th parameter (a *network.Router). A caller that keeps
+// a handle to the argument would share one Router across goroutines.
+const FactSummary = "routerconfine.summary"
+
+// Summary records which Router-typed parameters a function hands to
+// goroutines it spawns.
+type Summary struct {
+	Params []bool
 }
 
 // isRouterType reports whether t is network.Router or a pointer to it.
@@ -48,6 +63,16 @@ func isRouterType(t types.Type) bool {
 
 func run(pass *lint.Pass) error {
 	info := pass.TypesInfo
+	// Export goroutine-capture summaries for every function first, so
+	// same-package call sites see them regardless of declaration order
+	// (cross-package call sites get them from dependency-ordered units).
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				exportSummary(pass, fd)
+			}
+		}
+	}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -112,9 +137,109 @@ func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
 			}
 		case *ast.CallExpr:
 			checkInterfaceEscape(pass, n)
+			checkSummaryCall(pass, n)
 		}
 		return true
 	})
+}
+
+// exportSummary records, as a fact on the function object, which of the
+// function's Router-typed parameters are captured by a go statement in
+// its body. The capture itself is flagged at the definition site by
+// checkGoCapture; the summary lets call sites — in this package or an
+// importing one — be checked too.
+func exportSummary(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return
+	}
+	np := sig.Params().Len()
+	caps := make([]bool, np)
+	captured := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(g.Call, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok || !isRouterType(obj.Type()) {
+				return true
+			}
+			for i := 0; i < np; i++ {
+				if sig.Params().At(i) == obj {
+					caps[i] = true
+					captured = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if captured {
+		pass.ExportFact(FactSummary, fn, &Summary{Params: caps})
+	}
+}
+
+// checkSummaryCall flags call sites that pass a retained Router to a
+// parameter the callee's summary marks as goroutine-captured. Only an
+// argument the caller cannot name afterwards — an inline constructor
+// call or literal — is a sound handoff.
+func checkSummaryCall(pass *lint.Pass, call *ast.CallExpr) {
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	fact, ok := pass.ImportFact(FactSummary, fn)
+	if !ok {
+		return
+	}
+	sum := fact.(*Summary)
+	for i, arg := range call.Args {
+		if i >= len(sum.Params) || !sum.Params[i] {
+			continue // positional match: variadic Router params don't arise
+		}
+		if !isRouterType(pass.TypesInfo.TypeOf(arg)) {
+			continue
+		}
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.CallExpr, *ast.CompositeLit:
+			continue // inline allocation: the caller keeps no handle
+		case *ast.UnaryExpr:
+			if a.Op == token.AND {
+				if _, lit := a.X.(*ast.CompositeLit); lit {
+					continue // &Router{...}: likewise unretained
+				}
+			}
+		}
+		pass.Reportf(arg.Pos(),
+			"*network.Router passed to %s, which hands it to a goroutine it spawns: "+
+				"two goroutines would share one Router; pass an inline NewRouter result "+
+				"the caller does not retain", renderFunc(fn))
+	}
+}
+
+// renderFunc names a function for diagnostics: pkg.Func or pkg.Recv.Method.
+func renderFunc(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := lint.NamedOf(sig.Recv().Type()); n != nil {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
 }
 
 // checkGoCapture flags identifiers of Router type referenced inside a

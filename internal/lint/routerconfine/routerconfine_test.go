@@ -10,3 +10,9 @@ import (
 func TestRouterConfine(t *testing.T) {
 	linttest.Run(t, routerconfine.Analyzer, "a")
 }
+
+// TestRouterConfineCrossPackage checks that the goroutine-capture
+// summary exported for xa.Spawn reaches call sites in xb.
+func TestRouterConfineCrossPackage(t *testing.T) {
+	linttest.Run(t, routerconfine.Analyzer, "xa", "xb")
+}

@@ -74,6 +74,29 @@ func badGlobalStore() {
 	sharedRouter = r // want "package-level variable"
 }
 
+// spawnWith hands its parameter to a goroutine: the capture is flagged
+// here, and the exported summary makes every call site prove the
+// argument is not retained by the caller.
+func spawnWith(r *network.Router) {
+	go func() {
+		_, _ = r.BFSRoute(0, 1) // want "crosses into a goroutine"
+	}()
+}
+
+// badSummaryCall keeps a handle to the Router it hands to spawnWith:
+// caller and spawned goroutine would share it.
+func badSummaryCall() {
+	r := topo.NewRouter(nil)
+	spawnWith(r) // want "hands it to a goroutine it spawns"
+	_, _ = r.BFSRoute(2, 3)
+}
+
+// goodInlineHandoff passes an inline constructor result: ownership
+// transfers with the call, the caller keeps no name for it.
+func goodInlineHandoff() {
+	spawnWith(topo.NewRouter(nil))
+}
+
 // goodLocalUse keeps the Router confined to one goroutine.
 func goodLocalUse() {
 	r := topo.NewRouter(nil)

@@ -1,0 +1,14 @@
+// Package xa exports a helper that hands its Router parameter to a
+// goroutine it spawns. The capture is flagged here at the definition;
+// the exported goroutine-capture summary travels as a fact so that
+// callers in importing packages are checked at their call sites.
+package xa
+
+import "repro/internal/network"
+
+// Spawn routes in the background on the caller's Router.
+func Spawn(r *network.Router) {
+	go func() {
+		_, _ = r.BFSRoute(0, 1) // want "crosses into a goroutine"
+	}()
+}

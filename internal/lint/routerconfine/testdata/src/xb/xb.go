@@ -1,0 +1,22 @@
+// Package xb calls xa.Spawn, whose goroutine-capture summary was
+// exported as a fact: passing a Router the caller retains is flagged
+// at the call site even though the go statement lives in xa.
+package xb
+
+import (
+	"xa"
+
+	"repro/internal/network"
+)
+
+var topo = &network.Topology{}
+
+func fanOut() {
+	r := topo.NewRouter(nil)
+	xa.Spawn(r) // want "hands it to a goroutine it spawns"
+	_, _ = r.BFSRoute(2, 3)
+
+	// An inline constructor result is a sound handoff: the caller keeps
+	// no handle the spawned goroutine could race with.
+	xa.Spawn(topo.NewRouter(nil))
+}

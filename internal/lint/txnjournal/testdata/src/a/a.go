@@ -45,6 +45,13 @@ func (s *state) cowEdge(id EdgeID) *EdgeSchedule {
 }
 
 func (s *state) placeTask(tid TaskID, proc NodeID, cond bool) {
+	// Inter-procedural: interHelper's store is a summary requirement.
+	// This bare call (before any touchTask) leaves it unsatisfied; the
+	// journaled path through journalThenCall satisfies it.
+	s.interHelper(tid)
+	s.journalThenCall(tid)
+	s.mid() // two-level propagation: mid -> deepStore
+
 	// Dominated store: journal call precedes at the same nesting level.
 	s.touchTask(tid)
 	s.tasks[tid] = 1
@@ -140,6 +147,31 @@ func (s *state) elseBranch(cond bool) {
 // ignored demonstrates the escape hatch.
 func (s *state) ignored(proc NodeID) {
 	s.procFinish[proc] = 10 // edgelint:ignore txnjournal — fixture: deliberate un-journaled store
+}
+
+// interHelper stores without journaling: the store becomes a summary
+// requirement its callers must satisfy. placeTask reaches it both bare
+// (reported, anchored here at the store) and through journalThenCall
+// (satisfied at that call site).
+func (s *state) interHelper(id TaskID) {
+	s.tasks[id] = 12 // want "store to journaled field state.tasks is not dominated"
+}
+
+// journalThenCall satisfies interHelper's requirement at the call
+// site: the journal dominates the call, hence the callee's store.
+func (s *state) journalThenCall(id TaskID) {
+	s.touchTask(id)
+	s.interHelper(id)
+}
+
+// deepStore's requirement propagates two levels, through mid, up to
+// placeTask — which never journals dups outside the earlier loop.
+func (s *state) deepStore() {
+	s.dups = append(s.dups, 2) // want "journaled field state.dups is not dominated"
+}
+
+func (s *state) mid() {
+	s.deepStore()
 }
 
 // unreachable is never called from placeTask: its stores are out of

@@ -1,0 +1,45 @@
+// Package xa declares an exported transactional state — journaled
+// fields, journal kernel, and helpers — whose function summaries must
+// reach importing packages as facts. Exported spellings (Tasks,
+// TouchTask) fold onto the canonical journal table. No placeTask root
+// lives here, so nothing is reported in this package; the summaries
+// are the product.
+package xa
+
+type TaskID int
+type EdgeID int
+
+type EdgeSchedule struct {
+	Start  float64
+	Chunks []float64
+}
+
+type State struct {
+	Tasks []float64
+	Edges []*EdgeSchedule
+}
+
+func (s *State) TouchTask(id TaskID) {}
+func (s *State) TouchEdge(id EdgeID) {}
+func (s *State) CowEdge(id EdgeID) *EdgeSchedule {
+	return s.Edges[id]
+}
+
+// SetTask stores without journaling: the summary carries the
+// requirement to every caller.
+func (s *State) SetTask(id TaskID, v float64) {
+	s.Tasks[id] = v
+}
+
+// SetTaskSafe journals before storing: no requirement escapes.
+func (s *State) SetTaskSafe(id TaskID, v float64) {
+	s.TouchTask(id)
+	s.Tasks[id] = v
+}
+
+// Scale stores through its *EdgeSchedule parameter: the alias-store
+// summary makes every call site prove the argument came from CowEdge
+// or a fresh allocation.
+func Scale(es *EdgeSchedule, f float64) {
+	es.Start *= f
+}

@@ -1,0 +1,39 @@
+// Package xb roots a transaction over state imported from xa: its
+// placeTask must satisfy the journal requirements and alias-store
+// proofs imported from xa's function summaries — stores it can only
+// reach through helpers defined in another package.
+package xb
+
+import "xa"
+
+type sched struct {
+	st *xa.State
+}
+
+func (sc *sched) placeTask(id xa.TaskID) {
+	// Satisfied requirement: the journal dominates the call, on the
+	// same receiver root, so SetTask's store is covered.
+	sc.st.TouchTask(id)
+	sc.st.SetTask(id, 1)
+
+	// A journal inside one branch does not dominate a call after it.
+	sc.other().SetTaskSafe(id, 2) // self-journaling helper needs nothing here
+
+	// Unsatisfied requirement: no journal since the transaction for
+	// this receiver... the call site is the anchor, since the store
+	// itself lives in xa.
+	sc2 := &sched{st: nil}
+	sc2.st.SetTask(id, 3) // want "call to xa.State.SetTask reaches a store to journaled field State.Tasks"
+
+	// Alias-store proof: a CowEdge result may be scaled, a pointer read
+	// straight off the live Edges slice may not.
+	es := sc.st.CowEdge(0)
+	xa.Scale(es, 2)
+	live := sc.st.Edges[0]
+	xa.Scale(live, 3) // want "call to xa.Scale stores through a \\*EdgeSchedule aliasing State.Edges"
+	live.Start = 4    // want "store through \\*EdgeSchedule aliasing State.Edges"
+}
+
+func (sc *sched) other() *xa.State {
+	return sc.st
+}

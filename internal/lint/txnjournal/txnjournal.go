@@ -4,13 +4,34 @@
 // journaled state field must be dominated by the matching journal call
 // on the same receiver, or rollback silently restores stale values —
 // the silent-rollback hole this analyzer exists to close.
+//
+// Domination is inter-procedural via function summaries. Each function
+// is summarized bottom-up: a store not dominated by a journal call in
+// its own body becomes a requirement the caller must satisfy (a
+// covering journal on the same receiver before the call), and
+// requirements that no caller satisfies surface at the placeTask root.
+// Summaries are exported as facts, so a helper living in another
+// package imposes its requirements on importing callers even though
+// its body is never re-analyzed there. Functions that store through a
+// *EdgeSchedule parameter are likewise summarized, and every call site
+// must prove the argument came from cowEdge (or a fresh allocation)
+// rather than the live edges slice.
+//
+// Transactional state types are recognized structurally: a named
+// struct with at least one journaled field (tasks, procFinish, edges,
+// tl, bw, ptl, dups) and at least one journal kernel method
+// (touchTask, …, cowEdge, begin, rollback). Exported spellings count:
+// a fixture or future package with Tasks/TouchTask fields and methods
+// is held to the same discipline.
 package txnjournal
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
+	"unicode"
 
 	"repro/internal/lint"
 )
@@ -24,10 +45,52 @@ var Analyzer = &lint.Analyzer{
 		"method call, or mutation through an aliased *EdgeSchedule — must be " +
 		"dominated by the matching touchTask/touchProc/touchEdge/cowEdge/" +
 		"touchTimeline/touchBWTimeline/touchProcTimeline/touchDup call on the " +
-		"same receiver. Un-journaled stores survive rollback and corrupt " +
-		"every later probe. Suppress intentional exceptions with " +
-		"`edgelint:ignore txnjournal — reason`.",
+		"same receiver, in the storing function or (via function summaries, " +
+		"which cross package boundaries as facts) in a caller. Un-journaled " +
+		"stores survive rollback and corrupt every later probe. Suppress " +
+		"intentional exceptions with `edgelint:ignore txnjournal — reason`.",
 	Run: run,
+}
+
+// FactSummary carries a *Summary per function: the journal
+// requirements its callers must satisfy and the pointer parameters it
+// stores through.
+const FactSummary = "txnjournal.summary"
+
+// Req is one journal requirement a function imposes on its callers: a
+// store to a journaled field that no journal call inside the function
+// dominates.
+type Req struct {
+	// Param says which caller value the store goes through: -1 the
+	// method receiver, >= 0 a parameter index, -2 unmappable (a local
+	// alias of the state; no caller journal can be matched to it, so
+	// the requirement escalates unconditionally).
+	Param int
+	// Field is the canonical (lowercased) journaled field key.
+	Field string
+	// FieldName and State carry the source spellings for diagnostics.
+	FieldName string
+	State     string
+	// Desc phrases the store ("store to", "append to", "mutating call
+	// InsertBasic on").
+	Desc string
+	// Pos anchors the diagnostic: the original store for requirements
+	// that stayed inside their package, the call site where the
+	// requirement crossed a package boundary.
+	Pos token.Pos
+	// Cross marks a requirement that crossed a package boundary; Where
+	// then names the function containing the store.
+	Cross bool
+	Where string
+}
+
+// Summary is the exported per-function fact.
+type Summary struct {
+	Reqs []Req
+	// AliasStores[i] reports that the function stores through its i-th
+	// parameter (a pointer into journaled state, e.g. *EdgeSchedule):
+	// callers must pass a cowEdge result or fresh allocation.
+	AliasStores []bool
 }
 
 // journalFor maps each journaled field of the transactional state type
@@ -61,6 +124,7 @@ var readOnlyPrefixes = []string{
 }
 
 func readOnly(name string) bool {
+	name = upperFirst(name)
 	for _, p := range readOnlyPrefixes {
 		if strings.HasPrefix(name, p) {
 			return true
@@ -69,9 +133,77 @@ func readOnly(name string) bool {
 	return false
 }
 
+// lowerFirst canonicalizes a field or kernel-method name: exported
+// spellings (Tasks, TouchEdge) fold onto the lowercase table keys.
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	r := []rune(s)
+	r[0] = unicode.ToLower(r[0])
+	return string(r)
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	r := []rune(s)
+	r[0] = unicode.ToUpper(r[0])
+	return string(r)
+}
+
+// analysis is the per-unit state of one txnjournal run.
+type analysis struct {
+	pass    *lint.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	sums    map[*types.Func]*Summary
+	working map[*types.Func]bool
+	// findings are alias-store diagnostics attached to the function
+	// they occur in, reported only when that function is reachable
+	// from a placeTask root (matching the store requirements, which
+	// also only surface at roots).
+	findings map[*types.Func][]finding
+	// states memoizes structural transactional-state detection;
+	// esTypes collects the edges element pointer types of detected
+	// states (the *EdgeSchedule types whose aliasing is checked).
+	states  map[*types.TypeName]bool
+	esTypes []types.Type
+}
+
+type finding struct {
+	pos token.Pos
+	key string // dedup tag within a line
+	msg string
+}
+
 func run(pass *lint.Pass) error {
-	// Index every function declaration and find the placeTask roots.
-	decls := map[*types.Func]*ast.FuncDecl{}
+	a := &analysis{
+		pass:     pass,
+		decls:    map[*types.Func]*ast.FuncDecl{},
+		sums:     map[*types.Func]*Summary{},
+		working:  map[*types.Func]bool{},
+		findings: map[*types.Func][]finding{},
+		states:   map[*types.TypeName]bool{},
+	}
+	// Register transactional state types up front — package-level types
+	// here and in direct imports — so the aliasing checks know the
+	// edges element types regardless of the order functions are
+	// summarized in.
+	scopes := []*types.Scope{pass.Pkg.Scope()}
+	for _, imp := range pass.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, sc := range scopes {
+		for _, name := range sc.Names() {
+			if tn, ok := sc.Lookup(name).(*types.TypeName); ok {
+				if n, ok := tn.Type().(*types.Named); ok {
+					a.isTxnState(n)
+				}
+			}
+		}
+	}
+	var order []*types.Func
 	var roots []*types.Func
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
@@ -83,39 +215,87 @@ func run(pass *lint.Pass) error {
 			if !ok {
 				continue
 			}
-			decls[fn] = fd
-			if fd.Recv != nil && fd.Name.Name == "placeTask" {
+			a.decls[fn] = fd
+			order = append(order, fn)
+			if fd.Recv != nil && lowerFirst(fd.Name.Name) == "placeTask" {
 				roots = append(roots, fn)
 			}
 		}
 	}
-	if len(roots) == 0 {
-		return nil
+	// Summarize every function (memoized, recursing through local
+	// calls) and export the non-empty summaries for importing packages.
+	for _, fn := range order {
+		sum := a.summarize(fn)
+		if len(sum.Reqs) > 0 || anyTrue(sum.AliasStores) {
+			pass.ExportFact(FactSummary, fn, sum)
+		}
 	}
+	// Requirements and alias findings surface only at placeTask roots:
+	// helpers outside the transactional call graph stay unreported.
 	reported := map[lineKey]bool{}
 	for _, root := range roots {
-		sig, ok := root.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil {
-			continue
+		for _, r := range a.sums[root].Reqs {
+			a.reportReq(r, reported)
 		}
-		stateNamed := lint.NamedOf(sig.Recv().Type())
-		if stateNamed == nil {
-			continue
-		}
-		for _, fn := range reachable(pass.TypesInfo, decls, root) {
-			checkFunc(pass, stateNamed, decls[fn], reported)
+		for _, fn := range a.reachable(root) {
+			for _, f := range a.findings[fn] {
+				p := pass.Fset.Position(f.pos)
+				key := lineKey{file: p.Filename, line: p.Line, field: f.key}
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				pass.Reportf(f.pos, "%s", f.msg)
+			}
 		}
 	}
 	return nil
 }
 
+func anyTrue(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// lineKey dedups diagnostics: one report per file line and field.
+type lineKey struct {
+	file  string
+	line  int
+	field string
+}
+
+func (a *analysis) reportReq(r Req, reported map[lineKey]bool) {
+	p := a.pass.Fset.Position(r.Pos)
+	key := lineKey{file: p.Filename, line: p.Line, field: r.Field}
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+	if r.Cross {
+		a.pass.Reportf(r.Pos,
+			"call to %s reaches a store to journaled field %s.%s with no dominating %s on the same receiver; "+
+				"rollback cannot restore it (journal before the call, or annotate with edgelint:ignore txnjournal)",
+			r.Where, r.State, r.FieldName, orList(journalFor[r.Field]))
+		return
+	}
+	a.pass.Reportf(r.Pos,
+		"%s journaled field %s.%s is not dominated by %s on the same receiver; "+
+			"rollback cannot restore this store (journal first, or annotate with edgelint:ignore txnjournal)",
+		r.Desc, r.State, r.FieldName, orList(journalFor[r.Field]))
+}
+
 // reachable returns the in-package functions reachable from root by
 // direct calls, excluding the journal kernel.
-func reachable(info *types.Info, decls map[*types.Func]*ast.FuncDecl, root *types.Func) []*types.Func {
+func (a *analysis) reachable(root *types.Func) []*types.Func {
+	info := a.pass.TypesInfo
 	seen := map[*types.Func]bool{root: true}
 	order := []*types.Func{root}
 	for i := 0; i < len(order); i++ {
-		fd := decls[order[i]]
+		fd := a.decls[order[i]]
 		if fd == nil || fd.Body == nil {
 			continue
 		}
@@ -125,10 +305,10 @@ func reachable(info *types.Info, decls map[*types.Func]*ast.FuncDecl, root *type
 				return true
 			}
 			callee := lint.CalleeFunc(info, call)
-			if callee == nil || seen[callee] || kernel[callee.Name()] {
+			if callee == nil || seen[callee] || kernel[lowerFirst(callee.Name())] {
 				return true
 			}
-			if decls[callee] == nil {
+			if a.decls[callee] == nil {
 				return true // other package, or no body in this unit
 			}
 			seen[callee] = true
@@ -139,37 +319,55 @@ func reachable(info *types.Info, decls map[*types.Func]*ast.FuncDecl, root *type
 	return order
 }
 
-// lineKey dedups diagnostics: one report per file line and field.
-type lineKey struct {
-	file  string
-	line  int
-	field string
-}
-
-// event is a journal call or a store, located by position and by its
-// chain of enclosing branch scopes.
+// event is a journal call, a store, or a summarized call site, located
+// by position and by its chain of enclosing branch scopes.
 type event struct {
 	pos   token.Pos
 	chain []ast.Node   // innermost-last branch scopes enclosing the event
 	recv  types.Object // root receiver variable (the state value)
-	name  string       // journal events: the journal method's name
-	field string       // store events: the journaled field written
-	desc  string       // store events: diagnostic phrasing of the store
+	name  string       // journal events: the (canonical) journal method name
+	field string       // store events: canonical journaled field key
+	// store events: source spellings and diagnostic phrasing
+	fieldName string
+	state     string
+	desc      string
 }
 
-// checkFunc verifies one reachable function: every store through a
-// journaled field of stateNamed must be dominated — same receiver,
-// earlier position, enclosing branch chain a prefix of the store's —
-// by a covering journal call.
-func checkFunc(pass *lint.Pass, stateNamed *types.Named, fd *ast.FuncDecl, reported map[lineKey]bool) {
-	if fd == nil || fd.Body == nil {
-		return
+// summarize computes (and memoizes) fn's summary: the journal
+// requirements its own stores and its callees' summaries impose on
+// callers, and the pointer parameters it stores through. Recursion
+// through a call cycle yields the in-progress (partial) summary, which
+// under-approximates the cycle exactly once — acceptable, since the
+// repository's transactional call graphs are acyclic.
+func (a *analysis) summarize(fn *types.Func) *Summary {
+	if s, ok := a.sums[fn]; ok {
+		return s
 	}
-	info := pass.TypesInfo
-	fresh := lint.NewFreshness(info, fd.Body)
-	esPtr := edgeElemType(stateNamed)
+	if a.working[fn] {
+		return &Summary{}
+	}
+	a.working[fn] = true
+	defer func() { a.working[fn] = false }()
 
+	sum := &Summary{}
+	fd := a.decls[fn]
+	if fd == nil || fd.Body == nil {
+		a.sums[fn] = sum
+		return sum
+	}
+	info := a.pass.TypesInfo
+	fresh := lint.NewFreshness(info, fd.Body)
+	paramOf := a.paramIndex(fd)
+	sum.AliasStores = make([]bool, numParams(fn))
+
+	type callSite struct {
+		call   *ast.CallExpr
+		callee *types.Func
+		chain  []ast.Node
+	}
 	var journals, stores []event
+	var calls []callSite
+	var aliasExprs []ast.Expr // LHS paths checked for live-edges aliasing
 	var stack []ast.Node
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil {
@@ -180,23 +378,30 @@ func checkFunc(pass *lint.Pass, stateNamed *types.Named, fd *ast.FuncDecl, repor
 		chain := branchChain(stack[:len(stack)-1])
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
-			if !ok {
+			sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !isSel {
 				// Builtin append/copy stores are collected below.
 				if w := builtinStore(info, n); w != nil {
-					if ev, ok := storeEvent(info, stateNamed, w, "append to"); ok {
+					if ev, ok := a.storeEvent(w, "append to"); ok {
 						ev.chain = chain
 						stores = append(stores, ev)
+						return true
 					}
+				}
+				if callee := lint.CalleeFunc(info, n); callee != nil && !kernel[lowerFirst(callee.Name())] {
+					calls = append(calls, callSite{call: n, callee: callee, chain: chain})
 				}
 				return true
 			}
 			name := sel.Sel.Name
-			if _, isJournal := kernel[name]; isJournal && name != "begin" && name != "rollback" {
-				if field, root := stateField(info, stateNamed, sel.X); field == "" && root != nil {
+			if kernel[lowerFirst(name)] {
+				if lowerFirst(name) == "begin" || lowerFirst(name) == "rollback" {
+					return true
+				}
+				if state, field, root := a.pathField(sel.X); state == "" && field == "" && root != nil {
 					// Plain receiver (s.touchTask): record a journal event.
 					if obj := identObj(info, root); obj != nil {
-						journals = append(journals, event{pos: n.Pos(), chain: chain, recv: obj, name: name})
+						journals = append(journals, event{pos: n.Pos(), chain: chain, recv: obj, name: lowerFirst(name)})
 					}
 				}
 				return true
@@ -204,54 +409,211 @@ func checkFunc(pass *lint.Pass, stateNamed *types.Named, fd *ast.FuncDecl, repor
 			if readOnly(name) {
 				return true
 			}
-			if field, root := stateField(info, stateNamed, sel.X); field != "" && journalFor[field] != nil && root != nil {
+			if state, field, root := a.pathField(sel.X); field != "" && root != nil {
 				if obj := identObj(info, root); obj != nil {
 					stores = append(stores, event{
-						pos: n.Pos(), chain: chain, recv: obj, field: field,
+						pos: n.Pos(), chain: chain, recv: obj, field: lowerFirst(field),
+						fieldName: field, state: state,
 						desc: "mutating call " + name + " on",
 					})
 				}
+				return true
+			}
+			if callee := lint.CalleeFunc(info, n); callee != nil {
+				calls = append(calls, callSite{call: n, callee: callee, chain: chain})
 			}
 		case *ast.AssignStmt:
 			if n.Tok == token.DEFINE {
 				return true
 			}
 			for _, lhs := range n.Lhs {
-				if ev, ok := storeEvent(info, stateNamed, lhs, "store to"); ok {
+				if ev, ok := a.storeEvent(lhs, "store to"); ok {
 					ev.chain = chain
 					stores = append(stores, ev)
 					continue
 				}
-				checkAliasStore(pass, stateNamed, esPtr, fresh, lhs, reported)
+				aliasExprs = append(aliasExprs, lhs)
 			}
 		case *ast.IncDecStmt:
-			if ev, ok := storeEvent(info, stateNamed, n.X, "store to"); ok {
+			if ev, ok := a.storeEvent(n.X, "store to"); ok {
 				ev.chain = chain
 				stores = append(stores, ev)
 			} else {
-				checkAliasStore(pass, stateNamed, esPtr, fresh, n.X, reported)
+				aliasExprs = append(aliasExprs, n.X)
 			}
 		}
 		return true
 	})
 
+	// Own stores: locally undominated ones become caller requirements.
 	for _, st := range stores {
 		if dominated(st, journals) {
 			continue
 		}
-		// One diagnostic per field and line: `s.dups = append(s.dups, x)`
-		// is one logical store, not an assignment plus an append.
-		p := pass.Fset.Position(st.pos)
-		key := lineKey{file: p.Filename, line: p.Line, field: st.field}
-		if reported[key] {
+		param, ok := paramOf[st.recv]
+		if !ok {
+			param = -2
+		}
+		sum.Reqs = append(sum.Reqs, Req{
+			Param: param, Field: st.field, FieldName: st.fieldName,
+			State: st.state, Desc: st.desc, Pos: st.pos,
+		})
+	}
+
+	// Own pointer-parameter stores: writes through a *EdgeSchedule
+	// parameter make every call site prove its argument's origin.
+	for _, e := range aliasExprs {
+		a.checkAliasExpr(fn, fd, fresh, paramOf, sum, e)
+	}
+
+	// Callee requirements: satisfied by a covering journal before the
+	// call on the same receiver, escalated into our own summary
+	// otherwise (re-anchored at the call site when the callee lives in
+	// another package — its file is not part of this unit's report).
+	for _, cs := range calls {
+		call := cs.call
+		sub := a.calleeSummary(cs.callee)
+		if sub == nil {
 			continue
 		}
-		reported[key] = true
-		pass.Reportf(st.pos,
-			"%s journaled field %s.%s is not dominated by %s on the same receiver; "+
-				"rollback cannot restore this store (journal first, or annotate with edgelint:ignore txnjournal)",
-			st.desc, stateNamed.Obj().Name(), st.field, orList(journalFor[st.field]))
+		cross := cs.callee.Pkg() == nil || cs.callee.Pkg().Path() != a.pass.Pkg.Path()
+		for _, r := range sub.Reqs {
+			obj := a.mapParam(call, r.Param)
+			if obj != nil && dominated(event{pos: call.Pos(), chain: cs.chain, recv: obj, field: r.Field}, journals) {
+				continue
+			}
+			nr := r
+			if obj != nil {
+				if p, ok := paramOf[obj]; ok {
+					nr.Param = p
+				} else {
+					nr.Param = -2
+				}
+			} else {
+				nr.Param = -2
+			}
+			if cross && !r.Cross {
+				nr.Cross = true
+				nr.Pos = call.Pos()
+				nr.Where = renderFunc(cs.callee)
+			}
+			sum.Reqs = append(sum.Reqs, nr)
+		}
+		for i, aliased := range sub.AliasStores {
+			if !aliased || i >= len(call.Args) {
+				continue
+			}
+			arg := call.Args[i]
+			if t := info.TypeOf(arg); t == nil || !a.isEdgeElem(t) {
+				continue
+			}
+			if org := a.aliasOrigin(fresh, arg); org.live {
+				elem := "EdgeSchedule"
+				if n := lint.NamedOf(info.TypeOf(arg)); n != nil {
+					elem = n.Obj().Name()
+				}
+				a.findings[fn] = append(a.findings[fn], finding{
+					pos: arg.Pos(), key: "edges-alias",
+					msg: fmt.Sprintf("call to %s stores through a *%s aliasing %s.%s; "+
+						"obtain the schedule from cowEdge so rollback can restore it (or annotate with edgelint:ignore txnjournal)",
+						renderFunc(cs.callee), elem, org.state, org.fieldName),
+				})
+			}
+		}
 	}
+
+	a.sums[fn] = sum
+	return sum
+}
+
+// calleeSummary resolves a callee's summary: recursively for functions
+// declared in this unit, through the fact store for imported ones.
+func (a *analysis) calleeSummary(callee *types.Func) *Summary {
+	if a.decls[callee] != nil {
+		return a.summarize(callee)
+	}
+	if fact, ok := a.pass.ImportFact(FactSummary, callee); ok {
+		return fact.(*Summary)
+	}
+	return nil
+}
+
+// mapParam resolves which caller variable a callee requirement's
+// parameter corresponds to at this call site: the receiver expression
+// for -1, the argument for an index. Returns the root identifier's
+// object, or nil when unmappable.
+func (a *analysis) mapParam(call *ast.CallExpr, param int) types.Object {
+	var e ast.Expr
+	switch {
+	case param == -1:
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		e = sel.X
+	case param >= 0 && param < len(call.Args):
+		e = call.Args[param]
+	default:
+		return nil
+	}
+	root, _ := lint.DecomposePath(a.pass.TypesInfo, e)
+	id, ok := ast.Unparen(root).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return identObj(a.pass.TypesInfo, id)
+}
+
+// paramIndex maps the receiver variable to -1 and each named parameter
+// to its index.
+func (a *analysis) paramIndex(fd *ast.FuncDecl) map[types.Object]int {
+	m := map[types.Object]int{}
+	info := a.pass.TypesInfo
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		for _, name := range fd.Recv.List[0].Names {
+			if obj := info.Defs[name]; obj != nil {
+				m[obj] = -1
+			}
+		}
+	}
+	i := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					m[obj] = i
+				}
+				i++
+			}
+		}
+	}
+	return m
+}
+
+func numParams(fn *types.Func) int {
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		return sig.Params().Len()
+	}
+	return 0
+}
+
+// renderFunc names a function for cross-package diagnostics:
+// "xa.Scale", "xa.State.SetTask".
+func renderFunc(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := lint.NamedOf(sig.Recv().Type()); n != nil {
+			return pkg + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
 }
 
 // dominated reports whether a covering journal call precedes the store
@@ -319,86 +681,120 @@ func branchChain(stack []ast.Node) []ast.Node {
 }
 
 // storeEvent classifies a written path as a store through a journaled
-// field of the state type, resolving the root receiver identifier.
-func storeEvent(info *types.Info, stateNamed *types.Named, e ast.Expr, verb string) (event, bool) {
-	field, root := stateField(info, stateNamed, e)
-	if field == "" || journalFor[field] == nil || root == nil {
+// field of a transactional state type, resolving the root receiver
+// identifier.
+func (a *analysis) storeEvent(e ast.Expr, verb string) (event, bool) {
+	state, field, root := a.pathField(e)
+	if field == "" || root == nil {
 		return event{}, false
 	}
-	obj := identObj(info, root)
+	obj := identObj(a.pass.TypesInfo, root)
 	if obj == nil {
 		return event{}, false
 	}
-	return event{pos: e.Pos(), recv: obj, field: field, desc: verb}, true
+	return event{
+		pos: e.Pos(), recv: obj, field: lowerFirst(field),
+		fieldName: field, state: state, desc: verb,
+	}, true
 }
 
-// checkAliasStore flags stores through a local *EdgeSchedule that
-// aliases the live s.edges slice: such a pointer must come from cowEdge
+// aliasOriginInfo describes what a *EdgeSchedule expression was read
+// from.
+type aliasOriginInfo struct {
+	live      bool // read straight off the live edges slice
+	state     string
+	fieldName string
+}
+
+// aliasOrigin resolves what e's value aliases, following local
+// definitions: a cowEdge result and fresh allocations are safe, a read
+// of a state's live edges field is not, parameters and unknowns are
+// out of scope.
+func (a *analysis) aliasOrigin(fresh *lint.Freshness, e ast.Expr) aliasOriginInfo {
+	def := ast.Unparen(e)
+	for i := 0; i < 10; i++ {
+		id, ok := ast.Unparen(def).(*ast.Ident)
+		if !ok {
+			break
+		}
+		obj := identObj(a.pass.TypesInfo, id)
+		if obj == nil {
+			return aliasOriginInfo{}
+		}
+		next := fresh.ResolveDef(obj, id.Pos())
+		if next == nil {
+			return aliasOriginInfo{} // parameter or unknown origin
+		}
+		def = next
+	}
+	if _, ok := ast.Unparen(def).(*ast.CallExpr); ok {
+		// A call result: cowEdge (journaled clone), clones and
+		// constructors are all safe to mutate.
+		return aliasOriginInfo{}
+	}
+	if state, field, _ := a.pathField(def); lowerFirst(field) == "edges" {
+		return aliasOriginInfo{live: true, state: state, fieldName: field}
+	}
+	return aliasOriginInfo{}
+}
+
+// checkAliasExpr flags stores through a local *EdgeSchedule that
+// aliases the live edges slice: such a pointer must come from cowEdge
 // (which journals and clones) — a pointer read straight from s.edges
 // predates the transaction and rollback cannot restore writes through
 // it. Fresh schedules (composite literals, constructor results) and
-// unresolvable roots (parameters) are skipped.
-func checkAliasStore(pass *lint.Pass, stateNamed *types.Named, esPtr types.Type, fresh *lint.Freshness, e ast.Expr, reported map[lineKey]bool) {
-	if esPtr == nil {
-		return
-	}
-	root, _ := lint.DecomposePath(pass.TypesInfo, e)
+// unresolvable roots (parameters) are skipped, but a parameter that is
+// stored through is recorded in the summary so call sites take over
+// the proof.
+func (a *analysis) checkAliasExpr(fn *types.Func, fd *ast.FuncDecl, fresh *lint.Freshness,
+	paramOf map[types.Object]int, sum *Summary, e ast.Expr) {
+
+	root, _ := lint.DecomposePath(a.pass.TypesInfo, e)
 	id, ok := ast.Unparen(root).(*ast.Ident)
 	if !ok || root == ast.Unparen(e) {
 		return // bare variable overwrite, not a store through the alias
 	}
-	obj := identObj(pass.TypesInfo, id)
-	if obj == nil || !types.Identical(obj.Type(), esPtr) {
+	obj := identObj(a.pass.TypesInfo, id)
+	if obj == nil || !a.isEdgeElem(obj.Type()) {
 		return
 	}
-	def := fresh.ResolveDef(obj, e.Pos())
-	for i := 0; i < 10; i++ {
-		did, ok := ast.Unparen(def).(*ast.Ident)
-		if !ok {
-			break
+	if p, ok := paramOf[obj]; ok && p >= 0 {
+		// Store through a pointer parameter: the origin proof moves to
+		// the call sites via the summary.
+		if p < len(sum.AliasStores) {
+			sum.AliasStores[p] = true
 		}
-		dobj := identObj(pass.TypesInfo, did)
-		if dobj == nil {
-			break
+		return
+	}
+	if org := a.aliasOrigin(fresh, root); org.live {
+		elem := "EdgeSchedule"
+		if n := lint.NamedOf(obj.Type()); n != nil {
+			elem = n.Obj().Name()
 		}
-		def = fresh.ResolveDef(dobj, did.Pos())
+		a.findings[fn] = append(a.findings[fn], finding{
+			pos: e.Pos(), key: "edges-alias",
+			msg: fmt.Sprintf("store through *%s aliasing %s.%s; "+
+				"obtain the schedule from cowEdge so rollback can restore it (or annotate with edgelint:ignore txnjournal)",
+				elem, org.state, org.fieldName),
+		})
 	}
-	if def == nil {
-		return // parameter or unknown origin: out of scope by design
-	}
-	if call, ok := ast.Unparen(def).(*ast.CallExpr); ok {
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "cowEdge" {
-			return // journaled clone: safe to mutate
-		}
-	}
-	if field, _ := stateField(pass.TypesInfo, stateNamed, def); field == "edges" {
-		p := pass.Fset.Position(e.Pos())
-		key := lineKey{file: p.Filename, line: p.Line, field: "edges-alias"}
-		if !reported[key] {
-			reported[key] = true
-			pass.Reportf(e.Pos(),
-				"store through *%s aliasing %s.edges; obtain the schedule from cowEdge so rollback can restore it "+
-					"(or annotate with edgelint:ignore txnjournal)",
-				lint.NamedOf(esPtr).Obj().Name(), stateNamed.Obj().Name())
-		}
-	}
-	// Anything else — fresh allocation, clone result — is safe or out
-	// of scope.
 }
 
-// stateField unwinds a path expression to its root identifier and
-// returns the field name selected directly off the state type (the
-// innermost such selector), or "" when the path never passes through
-// the state.
-func stateField(info *types.Info, stateNamed *types.Named, e ast.Expr) (string, *ast.Ident) {
-	field := ""
+// pathField unwinds a path expression to its root identifier and
+// returns the field name selected directly off a transactional state
+// type (the innermost such selector) together with that state type's
+// name, or empty strings when the path never passes through one.
+func (a *analysis) pathField(e ast.Expr) (state, field string, root *ast.Ident) {
+	info := a.pass.TypesInfo
 	for {
 		e = ast.Unparen(e)
 		switch x := e.(type) {
 		case *ast.SelectorExpr:
 			if t := info.TypeOf(x.X); t != nil {
-				if n := lint.NamedOf(t); n != nil && n.Obj() == stateNamed.Obj() {
-					field = x.Sel.Name
+				if n := lint.NamedOf(t); n != nil && a.isTxnState(n) {
+					if journalFor[lowerFirst(x.Sel.Name)] != nil {
+						state, field = n.Obj().Name(), x.Sel.Name
+					}
 				}
 			}
 			e = x.X
@@ -409,11 +805,63 @@ func stateField(info *types.Info, stateNamed *types.Named, e ast.Expr) (string, 
 		case *ast.StarExpr:
 			e = x.X
 		case *ast.Ident:
-			return field, x
+			return state, field, x
 		default:
-			return field, nil
+			return state, field, nil
 		}
 	}
+}
+
+// isTxnState structurally recognizes a transactional state type: a
+// named struct declaring at least one journaled field and at least one
+// journal kernel method (modulo exported spellings). Detected states
+// also register their edges element type for the aliasing checks.
+func (a *analysis) isTxnState(n *types.Named) bool {
+	obj := n.Obj()
+	if v, ok := a.states[obj]; ok {
+		return v
+	}
+	a.states[obj] = false // cycle guard
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasField := false
+	for i := 0; i < st.NumFields(); i++ {
+		if journalFor[lowerFirst(st.Field(i).Name())] != nil {
+			hasField = true
+			break
+		}
+	}
+	if !hasField {
+		return false
+	}
+	hasKernel := false
+	for i := 0; i < n.NumMethods(); i++ {
+		if kernel[lowerFirst(n.Method(i).Name())] {
+			hasKernel = true
+			break
+		}
+	}
+	if !hasKernel {
+		return false
+	}
+	a.states[obj] = true
+	if elem := edgeElemType(n); elem != nil {
+		a.esTypes = append(a.esTypes, elem)
+	}
+	return true
+}
+
+// isEdgeElem reports whether t is the edges element pointer type of a
+// detected transactional state.
+func (a *analysis) isEdgeElem(t types.Type) bool {
+	for _, et := range a.esTypes {
+		if types.Identical(t, et) {
+			return true
+		}
+	}
+	return false
 }
 
 // edgeElemType returns the element type of the state's edges field
@@ -425,7 +873,7 @@ func edgeElemType(stateNamed *types.Named) types.Type {
 	}
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
-		if f.Name() != "edges" {
+		if lowerFirst(f.Name()) != "edges" {
 			continue
 		}
 		switch u := f.Type().Underlying().(type) {

@@ -10,3 +10,10 @@ import (
 func TestTxnJournal(t *testing.T) {
 	linttest.Run(t, txnjournal.Analyzer, "a")
 }
+
+// TestTxnJournalCrossPackage checks that function summaries cross
+// package boundaries: xb's placeTask must satisfy the journal
+// requirements and alias-store proofs of helpers defined in xa.
+func TestTxnJournalCrossPackage(t *testing.T) {
+	linttest.Run(t, txnjournal.Analyzer, "xa", "xb")
+}

@@ -235,7 +235,11 @@ func (s *state) probeError(tid dag.TaskID, p network.NodeID, err error) error {
 //
 // The final fold scans processors in ID order keeping the earliest
 // finish beyond the fptime tolerance, so ties break to the lowest
-// processor ID exactly as in the sequential loop.
+// processor ID exactly as in the sequential loop. This is the
+// canonical conforming deterministic fold the detfold analyzer checks
+// other merges against.
+//
+// edgelint:detfold
 func (s *state) selectByEFT(tid dag.TaskID) (network.NodeID, error) {
 	procs := s.net.Processors()
 	if len(procs) == 1 {
@@ -253,8 +257,8 @@ func (s *state) selectByEFT(tid dag.TaskID) (network.NodeID, error) {
 	pilot := 0
 	for i, p := range procs {
 		lb[i] = s.probeLowerBound(tid, p, ready)
-		// edgelint:ignore floateq — exact argmin, first-wins ties; any
-		// deterministic pilot is valid, its finish only prunes.
+		// edgelint:ignore floateq, detfold — exact argmin, first-wins
+		// ties; any deterministic pilot is valid, its finish only prunes.
 		if lb[i] < lb[pilot] {
 			pilot = i
 		}
