@@ -306,6 +306,38 @@ func BenchmarkBandwidthAllocForward(b *testing.B) {
 	}
 }
 
+// BenchmarkBandwidthEstimateFinish isolates BBSA's routing probe: the
+// modified-Dijkstra relax calls EstimateFinish against loaded ledgers
+// without reserving anything. Each ledger is grown past n segments
+// with a mix of saturating and partial-rate allocations, so the probe
+// crosses both skippable saturated runs and fragmented availability.
+func BenchmarkBandwidthEstimateFinish(b *testing.B) {
+	for _, n := range timelineSweep {
+		r := rand.New(rand.NewSource(1))
+		span := float64(n) * 2
+		bw := linksched.NewBWTimeline()
+		for j := 0; bw.NumSegments() < n; j++ {
+			cap := 0.0 // uncapped: saturates its span
+			if j%2 == 0 {
+				cap = 0.25 + r.Float64()*0.5
+			}
+			bw.Alloc(linksched.Owner{Edge: j}, r.Float64()*span, r.Float64()*50+1, 2, cap)
+		}
+		probes := make([]float64, 512)
+		for i := range probes {
+			probes[i] = r.Float64() * span
+		}
+		b.Run(fmt.Sprintf("segs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				start, finish := bw.EstimateFinish(probes[i%len(probes)], 25, 2)
+				if finish < start {
+					b.Fatal("estimate finished before it started")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBFSRoute measures minimal routing on a 64-processor WAN.
 func BenchmarkBFSRoute(b *testing.B) {
 	r := rand.New(rand.NewSource(1))

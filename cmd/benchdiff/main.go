@@ -131,11 +131,15 @@ func main() {
 }
 
 // defaultGate lists the benchmarks the -check gate guards: the four
-// end-to-end scheduler presets plus the large-graph EFT baseline, the
-// macro paths every kernel change flows through. Micro-benchmarks are
-// deliberately absent — their single-digit-microsecond timings are too
-// noisy to gate on a shared machine.
-const defaultGate = "BenchmarkScheduleBA,BenchmarkScheduleBASinnen,BenchmarkScheduleBASinnenLarge,BenchmarkScheduleOIHSA,BenchmarkScheduleBBSA"
+// end-to-end scheduler presets plus the large-graph EFT baseline (the
+// macro paths every kernel change flows through) and the two
+// 10^4-scale bandwidth sweeps, whose tens of milliseconds per op make
+// them regression-stable and which are exactly where a lost index or a
+// reintroduced linear rescan in the BBSA ledger shows up first.
+// Single-digit-microsecond micro-benchmarks stay out — too noisy to
+// gate on a shared machine.
+const defaultGate = "BenchmarkScheduleBA,BenchmarkScheduleBASinnen,BenchmarkScheduleBASinnenLarge,BenchmarkScheduleOIHSA,BenchmarkScheduleBBSA," +
+	"BenchmarkBandwidthAllocForward/jobs=10000,BenchmarkBandwidthEstimateFinish/segs=10000"
 
 // runBench shells out to go test -bench and returns its stdout.
 func runBench(bench string, count int, benchTime, timeOut, pkg string) (string, []string, error) {
@@ -174,15 +178,16 @@ func runCheck(dir, gate string, count int, benchTime, timeOut, pkg string, maxPc
 	if len(names) == 0 {
 		return fmt.Errorf("-gate names no benchmarks")
 	}
-	quoted := make([]string, len(names))
-	for i, n := range names {
-		quoted[i] = regexp.QuoteMeta(n)
+	cur := map[string]Sample{}
+	for _, group := range gateGroups(names) {
+		out, _, err := runBench(gatePattern(group), count, benchTime, timeOut, pkg)
+		if err != nil {
+			return err
+		}
+		for name, s := range parseBench(out) {
+			cur[name] = s
+		}
 	}
-	out, _, err := runBench("^("+strings.Join(quoted, "|")+")$", count, benchTime, timeOut, pkg)
-	if err != nil {
-		return err
-	}
-	cur := parseBench(out)
 	if len(cur) == 0 {
 		return fmt.Errorf("gate run produced no parsable benchmark lines")
 	}
@@ -209,6 +214,66 @@ func runCheck(dir, gate string, count int, benchTime, timeOut, pkg string, maxPc
 	}
 	fmt.Printf("benchdiff: %d gated benchmarks within +%.0f%% of %s\n", len(names), maxPct, prevPath)
 	return nil
+}
+
+// gateGroups buckets the gated names by nesting depth (number of "/"
+// levels), shallow first. go test only *times* benchmarks whose full
+// identifier is as deep as the -bench pattern — a flat benchmark under
+// a two-level pattern runs once in sub-benchmark discovery mode and
+// reports nothing — so whole-benchmark and sub-benchmark gates cannot
+// share one `go test` invocation; runCheck runs one per depth group.
+func gateGroups(names []string) [][]string {
+	byDepth := map[int][]string{}
+	maxDepth := 0
+	for _, name := range names {
+		d := strings.Count(name, "/")
+		byDepth[d] = append(byDepth[d], name)
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	var groups [][]string
+	for d := 0; d <= maxDepth; d++ {
+		if g := byDepth[d]; len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// gatePattern builds the `go test -bench` selection for one depth
+// group of gated names. go test splits a -bench pattern on "/" and
+// applies one element per benchmark nesting level, so a gate name like
+// "BenchmarkBandwidthAllocForward/jobs=10000" cannot be quoted into a
+// single flat alternation — instead the names' components are
+// alternated level by level. Within one group the cross product can at
+// most run extra gated parents' sub-benchmarks, whose lines the gate
+// comparison ignores.
+func gatePattern(names []string) string {
+	var levels [][]string
+	for _, name := range names {
+		for l, part := range strings.Split(name, "/") {
+			if l == len(levels) {
+				levels = append(levels, nil)
+			}
+			q := regexp.QuoteMeta(part)
+			dup := false
+			for _, seen := range levels[l] {
+				if seen == q {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				levels[l] = append(levels[l], q)
+			}
+		}
+	}
+	parts := make([]string, len(levels))
+	for l, alts := range levels {
+		parts[l] = "^(" + strings.Join(alts, "|") + ")$"
+	}
+	return strings.Join(parts, "/")
 }
 
 // splitGate parses the comma-separated gate list, dropping empties.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -137,17 +138,82 @@ func TestSplitGate(t *testing.T) {
 	}
 }
 
+func TestGateGroups(t *testing.T) {
+	// Mixed-depth gates split by depth, shallow first: go test only
+	// times benchmarks as deep as the pattern, so a flat gate under a
+	// two-level pattern would run in discovery mode and report nothing.
+	groups := gateGroups([]string{
+		"BenchmarkA",
+		"BenchmarkSub/jobs=10000",
+		"BenchmarkB",
+		"BenchmarkSub2/segs=500",
+	})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %v", len(groups), groups)
+	}
+	if got := strings.Join(groups[0], ","); got != "BenchmarkA,BenchmarkB" {
+		t.Errorf("depth-0 group %q", got)
+	}
+	if got := strings.Join(groups[1], ","); got != "BenchmarkSub/jobs=10000,BenchmarkSub2/segs=500" {
+		t.Errorf("depth-1 group %q", got)
+	}
+	// Uniform depth stays a single group.
+	if g := gateGroups([]string{"BenchmarkA", "BenchmarkB"}); len(g) != 1 {
+		t.Errorf("flat names split into %d groups", len(g))
+	}
+}
+
+func TestGatePattern(t *testing.T) {
+	// Flat names collapse to the single-level alternation.
+	flat := gatePattern([]string{"BenchmarkA", "BenchmarkB"})
+	if flat != "^(BenchmarkA|BenchmarkB)$" {
+		t.Fatalf("flat pattern %q", flat)
+	}
+	// Sub-benchmark names contribute one alternation per "/" level —
+	// never a "/" inside a quoted name, which go test would split.
+	subs := gatePattern([]string{
+		"BenchmarkSub/jobs=10000",
+		"BenchmarkSub2/jobs=10000",
+		"BenchmarkSub2/segs=500",
+	})
+	want := `^(BenchmarkSub|BenchmarkSub2)$/^(jobs=10000|segs=500)$`
+	if subs != want {
+		t.Fatalf("sub-benchmark pattern %q, want %q", subs, want)
+	}
+	// The per-level regexps must actually match the components.
+	lvl0 := strings.Split(subs, "/")[0]
+	for _, name := range []string{"BenchmarkSub", "BenchmarkSub2"} {
+		ok, err := regexp.MatchString(lvl0, name)
+		if err != nil || !ok {
+			t.Fatalf("level-0 pattern %q does not match %q (err %v)", lvl0, name, err)
+		}
+	}
+}
+
 func TestDefaultGateNamesExistInSuite(t *testing.T) {
 	// The default gate must name real benchmarks: every entry has to
 	// appear in the repository bench suite, or the gate silently skips.
+	// Sub-benchmark entries check the parent declaration plus the
+	// b.Run name prefix (sub names are produced via fmt.Sprintf).
 	data, err := os.ReadFile(filepath.Join("..", "..", "bench_test.go"))
 	if err != nil {
 		t.Skipf("bench suite not readable: %v", err)
 	}
 	for _, name := range splitGate(defaultGate) {
-		decl := "func " + name + "(b *testing.B)"
+		parts := strings.SplitN(name, "/", 2)
+		decl := "func " + parts[0] + "(b *testing.B)"
 		if !strings.Contains(string(data), decl) {
 			t.Errorf("default gate names %s, but %q not found in bench_test.go", name, decl)
+		}
+		if len(parts) == 2 {
+			prefix, _, ok := strings.Cut(parts[1], "=")
+			if !ok {
+				t.Errorf("gate sub-benchmark %s has no key=value form", name)
+				continue
+			}
+			if !strings.Contains(string(data), `"`+prefix+`=`) {
+				t.Errorf("default gate names %s, but no b.Run name %q in bench_test.go", name, prefix+"=…")
+			}
 		}
 	}
 }

@@ -33,13 +33,62 @@ type seg struct {
 	uses       []use
 }
 
+// bwBlock is the nominal slab size of the chunked segment store: slabs
+// hold between 1 and 2*bwBlock segments and split in half when they
+// overflow, so an insert moves O(bwBlock) segments instead of the whole
+// ledger. One slab is also one summary block for the availability
+// index, mirroring gapBlock on the exclusive-slot Timeline.
+const bwBlock = 32
+
+// bwChunk is one slab of the chunked segment store together with the
+// block summaries the sublinear kernels prune on. The summaries are
+// pure folds of the slab's segments — recomputed by reindexChunk after
+// every mutation of the slab and verified exactly by Validate.
+type bwChunk struct {
+	segs []seg // 1..2*bwBlock segments, globally sorted
+
+	// maxAvail is the exact float64 max of the segments' avail: a slab
+	// with maxAvail <= Eps is fully saturated everywhere it covers.
+	maxAvail float64
+	// maxGap is the largest idle gap between consecutive segments
+	// inside the slab (start[i] - end[i-1]); -Inf below two segments.
+	// A slab whose maxGap is safely below Eps has no internal gap the
+	// walk could stop in.
+	maxGap float64
+	// minEndDiff is the smallest spacing of consecutive segment ends
+	// inside the slab (end[i] - end[i-1]); +Inf below two segments.
+	// When it is safely above Eps, the cursor's end <= cur+Eps advance
+	// can never hop two of the slab's segments at once, which is what
+	// lets skipSaturated consume the slab in one step.
+	minEndDiff float64
+}
+
+// lastEnd is the slab's greatest segment end (ends increase strictly).
+func (c *bwChunk) lastEnd() float64 { return c.segs[len(c.segs)-1].end }
+
 // BWTimeline is the per-link bandwidth ledger used by BBSA: multiple
 // communications may share a link concurrently as long as their
 // bandwidth fractions sum to at most 1.
 //
+// Segments live in chunked slabs (bwChunk) rather than one flat slice,
+// so reserve's splits and gap-fills cost O(bwBlock), and each slab
+// carries saturation summaries that let Alloc/EstimateFinish skip
+// saturated stretches block-by-block. Both kernels remain bit-identical
+// to the retained linear reference (bwRef in reference.go): pruning is
+// conservative only, enforced by the differential sweeps and
+// FuzzBWTimelineDifferential.
+//
 // The zero value is an idle timeline ready for use.
 type BWTimeline struct {
-	segs []seg
+	chunks []bwChunk
+	nsegs  int // total segments across chunks
+
+	// maxAbs bounds the magnitude of every segment boundary ever
+	// stored, scaling the float-safety slack of the block prunes: the
+	// summary folds are exact, but the gap/spacing differences they
+	// summarize carry one subtraction rounding of at most
+	// 2*ulp(maxAbs). Only grows, surviving Restore, like Timeline's.
+	maxAbs float64
 }
 
 // NewBWTimeline returns an idle bandwidth timeline.
@@ -60,36 +109,204 @@ type SegmentUse struct {
 
 // Segments returns a copy of the current segments in time order.
 func (t *BWTimeline) Segments() []SegmentInfo {
-	out := make([]SegmentInfo, len(t.segs))
-	for i, s := range t.segs {
-		info := SegmentInfo{Start: s.start, End: s.end, Avail: s.avail}
-		for _, u := range s.uses {
-			info.Uses = append(info.Uses, SegmentUse{Owner: u.owner, Rate: u.rate})
+	out := make([]SegmentInfo, 0, t.nsegs)
+	for ci := range t.chunks {
+		for _, s := range t.chunks[ci].segs {
+			info := SegmentInfo{Start: s.start, End: s.end, Avail: s.avail}
+			for _, u := range s.uses {
+				info.Uses = append(info.Uses, SegmentUse{Owner: u.owner, Rate: u.rate})
+			}
+			out = append(out, info)
 		}
-		out[i] = info
 	}
 	return out
 }
 
-// split ensures a segment boundary exists at time x and returns the
-// index of the first segment whose end lies beyond x (after any
-// insertion), so callers can keep walking without re-searching. Only
-// called for x within or at the edge of existing segments.
-func (t *BWTimeline) split(x float64) int {
-	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > x })
-	if i == len(t.segs) {
-		return i
+// seek returns the position of the first segment whose end lies beyond
+// y, or (len(chunks), 0) past the last segment. Segment ends increase
+// strictly across the whole store (Validate enforces this exactly), so
+// the two-level binary search — slab by last end, then within the slab
+// — lands on the same segment a flat sort.Search would.
+func (t *BWTimeline) seek(y float64) (ci, si int) {
+	ci = sort.Search(len(t.chunks), func(i int) bool { return t.chunks[i].lastEnd() > y })
+	if ci == len(t.chunks) {
+		return ci, 0
 	}
-	s := &t.segs[i]
+	c := &t.chunks[ci]
+	si = sort.Search(len(c.segs), func(i int) bool { return c.segs[i].end > y })
+	return ci, si
+}
+
+// seekEps is THE availability-cursor predicate: the first segment whose
+// end lies beyond x+Eps. Formerly availAt's sort.Search closure, with
+// hand-rolled linear replicas in reserve and EstimateFinish (×2); the
+// cursor convention now lives here and in advanceEps only.
+func (t *BWTimeline) seekEps(x float64) (ci, si int) { return t.seek(x + Eps) }
+
+// advance moves the cursor one segment forward.
+func (t *BWTimeline) advance(ci, si int) (int, int) {
+	if si++; si == len(t.chunks[ci].segs) {
+		return ci + 1, 0
+	}
+	return ci, si
+}
+
+// advanceEps advances the cursor past every segment ending at or before
+// x+Eps — seekEps's predicate applied linearly from a known position,
+// as the kernels' monotone cursors require (amortized O(1) per call).
+// Slabs that fail the predicate wholesale (last end <= x+Eps) are
+// hopped in one exact step.
+func (t *BWTimeline) advanceEps(ci, si int, x float64) (int, int) {
+	y := x + Eps
+	for ci < len(t.chunks) {
+		c := &t.chunks[ci]
+		// edgelint:ignore floateq — exact replica of seekEps's
+		// sort.Search(end > x+Eps) predicate; must match bit-for-bit.
+		if si == 0 && !(c.lastEnd() > y) {
+			ci++
+			continue
+		}
+		// edgelint:ignore floateq — exact replica of seekEps's predicate.
+		if c.segs[si].end > y {
+			return ci, si
+		}
+		if si++; si == len(c.segs) {
+			ci, si = ci+1, 0
+		}
+	}
+	return ci, 0
+}
+
+// skipSaturated advances cur (and the cursor) through the maximal run
+// of saturated coverage starting at cur, exactly as the per-segment
+// loop "cur = until; advance" of the linear kernels would: each step
+// requires the next segment to lead cur with no gap (start <= cur+Eps)
+// and to be saturated (avail <= Eps), and moves cur to its end. Whole
+// slabs are consumed in one step when their summaries prove every
+// per-segment test inside would pass: fully saturated (maxAvail <= Eps,
+// an exact fold), no internal gap (maxGap safely under Eps), and no
+// chance of the cursor hopping two segments at once (minEndDiff safely
+// over Eps) — "safely" meaning beyond the one-subtraction rounding
+// slack scaled by maxAbs, so the block test can only be conservative.
+func (t *BWTimeline) skipSaturated(ci, si int, cur float64) (int, int, float64) {
+	ci, si = t.advanceEps(ci, si, cur)
+	// The summarized differences and the kernels' cur+Eps additions
+	// each round by one ulp of their operands' scale — at most
+	// (maxAbs+Eps)*2^-52 combined. 4e-15 over-covers that ~10× (the
+	// +Eps term keeps the floor honest when boundaries are tiny) while
+	// leaving the prunes engaged at any magnitude below ~2.5e5
+	// (Eps/4e-15). Beyond that the slabs are walked segment by segment
+	// — still exact, merely linear.
+	slack := (t.maxAbs + Eps) * 4e-15
+	for ci < len(t.chunks) {
+		c := &t.chunks[ci]
+		// edgelint:ignore floateq — conservative block prune: the exact
+		// entering-gap test plus summary thresholds; any slab that
+		// fails falls through to the authoritative per-segment walk.
+		if si == 0 && !(c.segs[0].start > cur+Eps) &&
+			c.maxAvail <= Eps && c.maxGap < Eps-slack && c.minEndDiff > Eps+slack {
+			cur = c.lastEnd()
+			ci, si = t.advanceEps(ci+1, 0, cur)
+			continue
+		}
+		s := &c.segs[si]
+		// edgelint:ignore floateq — exact replicas of the linear
+		// kernels' gap (start > cur+Eps) and saturation (avail > Eps)
+		// stop tests.
+		if s.start > cur+Eps || s.avail > Eps {
+			break
+		}
+		cur = s.end
+		ci, si = t.advanceEps(ci, si, cur)
+	}
+	return ci, si, cur
+}
+
+// foldMaxAbs grows the magnitude bound to cover |x|.
+func (t *BWTimeline) foldMaxAbs(x float64) {
+	if m := math.Abs(x); m > t.maxAbs {
+		t.maxAbs = m
+	}
+}
+
+// reindexChunk recomputes chunk ci's summaries from its segments.
+func (t *BWTimeline) reindexChunk(ci int) {
+	c := &t.chunks[ci]
+	maxAvail, maxGap, minEndDiff := math.Inf(-1), math.Inf(-1), math.Inf(1)
+	for i := range c.segs {
+		if a := c.segs[i].avail; a > maxAvail {
+			maxAvail = a
+		}
+		if i > 0 {
+			if g := c.segs[i].start - c.segs[i-1].end; g > maxGap {
+				maxGap = g
+			}
+			if d := c.segs[i].end - c.segs[i-1].end; d < minEndDiff {
+				minEndDiff = d
+			}
+		}
+	}
+	c.maxAvail, c.maxGap, c.minEndDiff = maxAvail, maxGap, minEndDiff
+}
+
+// insertSegAt inserts s before the segment at (ci, si); (len(chunks),
+// 0) appends past the last segment. The receiving slab splits in half
+// when it outgrows 2*bwBlock, and the touched slabs are reindexed. It
+// returns the inserted segment's (possibly relocated) position. Cost:
+// O(bwBlock) segment movement plus, on the rare split, O(len(chunks))
+// header movement — never the O(total segments) memmove of the flat
+// store.
+func (t *BWTimeline) insertSegAt(ci, si int, s seg) (int, int) {
+	if ci == len(t.chunks) {
+		if len(t.chunks) == 0 {
+			t.chunks = append(t.chunks, bwChunk{})
+		} else {
+			ci = len(t.chunks) - 1
+			si = len(t.chunks[ci].segs)
+		}
+	}
+	c := &t.chunks[ci]
+	c.segs = append(c.segs, seg{})
+	copy(c.segs[si+1:], c.segs[si:])
+	c.segs[si] = s
+	t.nsegs++
+	if len(c.segs) > 2*bwBlock {
+		// Split in half. The right half must be a fresh slice: the
+		// truncated left slab's capacity region still holds stale seg
+		// structs whose use slices would otherwise be shared backings.
+		half := len(c.segs) / 2
+		rest := make([]seg, len(c.segs)-half, 2*bwBlock+1)
+		copy(rest, c.segs[half:])
+		t.chunks = append(t.chunks, bwChunk{})
+		copy(t.chunks[ci+2:], t.chunks[ci+1:])
+		t.chunks[ci].segs = t.chunks[ci].segs[:half]
+		t.chunks[ci+1] = bwChunk{segs: rest}
+		t.reindexChunk(ci)
+		t.reindexChunk(ci + 1)
+		if si >= half {
+			return ci + 1, si - half
+		}
+		return ci, si
+	}
+	t.reindexChunk(ci)
+	return ci, si
+}
+
+// split ensures a segment boundary exists at time x. Only called for x
+// within or at the edge of existing segments; callers re-seek rather
+// than keep an index, since a slab split relocates segments.
+func (t *BWTimeline) split(x float64) {
+	ci, si := t.seek(x)
+	if ci == len(t.chunks) {
+		return
+	}
+	s := &t.chunks[ci].segs[si]
 	if fptime.GeqEps(s.start, x) || fptime.LeqEps(s.end, x) {
-		return i // boundary already (approximately) present
+		return // boundary already (approximately) present
 	}
 	left := seg{start: s.start, end: x, avail: s.avail, uses: append([]use(nil), s.uses...)}
 	s.start = x
-	t.segs = append(t.segs, seg{})
-	copy(t.segs[i+1:], t.segs[i:])
-	t.segs[i] = left
-	return i + 1 // the right half, now starting at x
+	t.insertSegAt(ci, si, left)
 }
 
 // reserve books rate bandwidth for owner over [a, b], splitting
@@ -99,23 +316,19 @@ func (t *BWTimeline) reserve(owner Owner, a, b, rate float64) {
 	if b-a <= Eps || rate <= Eps {
 		return
 	}
-	ia := t.split(a)
-	t.split(b) // inserts at an index >= ia, so ia stays valid
-	// Walk from a to b covering idle gaps with fresh segments. The
-	// walk starts where split(a) left off: segment ends never decrease,
-	// so advancing linearly over the (at most one, Eps-short) segment
-	// still ending at or before a+Eps reproduces the binary search the
-	// scan previously redid from scratch.
+	t.foldMaxAbs(a)
+	t.foldMaxAbs(b)
+	t.split(a)
+	t.split(b)
+	// Walk from a to b covering idle gaps with fresh segments, starting
+	// at the first segment still relevant past a — the same cursor the
+	// linear kernel derived by advancing its split index over segments
+	// ending at or before a+Eps.
 	cur := a
-	i := ia
-	// edgelint:ignore floateq — exact replica of the former
-	// sort.Search(end > a+Eps) predicate; must match it bit-for-bit.
-	for i < len(t.segs) && t.segs[i].end <= a+Eps {
-		i++
-	}
+	ci, si := t.seekEps(a)
 	for fptime.LessEps(cur, b) {
-		if i < len(t.segs) && fptime.LeqEps(t.segs[i].start, cur) {
-			s := &t.segs[i]
+		if ci < len(t.chunks) && fptime.LeqEps(t.chunks[ci].segs[si].start, cur) {
+			s := &t.chunks[ci].segs[si]
 			end := s.end
 			if end > b {
 				end = b
@@ -125,34 +338,33 @@ func (t *BWTimeline) reserve(owner Owner, a, b, rate float64) {
 				s.avail = 0
 			}
 			s.uses = append(s.uses, use{owner: owner, rate: rate})
+			t.reindexChunk(ci)
 			cur = end
-			i++
+			ci, si = t.advance(ci, si)
 			continue
 		}
 		// Idle gap from cur to the next segment start (or to b).
 		gapEnd := b
-		if i < len(t.segs) && t.segs[i].start < gapEnd {
-			gapEnd = t.segs[i].start
+		if ci < len(t.chunks) && t.chunks[ci].segs[si].start < gapEnd {
+			gapEnd = t.chunks[ci].segs[si].start
 		}
 		ns := seg{start: cur, end: gapEnd, avail: 1 - rate, uses: []use{{owner: owner, rate: rate}}}
-		t.segs = append(t.segs, seg{})
-		copy(t.segs[i+1:], t.segs[i:])
-		t.segs[i] = ns
+		ci, si = t.insertSegAt(ci, si, ns)
 		cur = gapEnd
-		i++
+		ci, si = t.advance(ci, si)
 	}
 }
 
 // availAt returns the remaining bandwidth fraction at time x and the
 // time at which that fraction next changes (availability horizon).
 func (t *BWTimeline) availAt(x float64) (avail, until float64) {
-	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > x+Eps })
-	if i == len(t.segs) {
+	ci, si := t.seekEps(x)
+	if ci == len(t.chunks) {
 		return 1, math.Inf(1)
 	}
-	s := t.segs[i]
+	s := &t.chunks[ci].segs[si]
 	if s.start > x+Eps {
-		return 1, s.start // idle gap before segment i
+		return 1, s.start // idle gap before the segment
 	}
 	return s.avail, s.end
 }
@@ -177,8 +389,15 @@ func (t *BWTimeline) Alloc(owner Owner, es, volume, speed, cap float64) []Chunk 
 		avail, until := t.availAt(cur)
 		rate := math.Min(avail, cap)
 		if rate <= Eps {
-			// Link saturated here; wait for the next change point.
+			// Link saturated here; wait for the next change point,
+			// hopping whole saturated slabs via the block summaries.
+			// (With cap <= Eps every rate is saturated regardless of
+			// availability, so there is nothing to skip to.)
 			cur = until
+			if cap > Eps {
+				ci, si := t.seekEps(cur)
+				_, _, cur = t.skipSaturated(ci, si, cur)
+			}
 			continue
 		}
 		// Time to drain the remaining volume at this rate.
@@ -231,28 +450,23 @@ func (t *BWTimeline) EstimateFinish(es, volume, speed float64) (start, finish fl
 	cur := math.Max(es, 0)
 	remaining := volume
 	start = -1
-	// Monotone segment cursor: cur only moves forward, and segment ends
-	// never decrease, so one binary search seeds the walk and each
-	// iteration advances the index in amortized O(1) instead of
-	// re-searching from t=0 — the availability answers are the ones
-	// availAt would give at every step.
-	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > cur+Eps })
+	// Monotone segment cursor: one seek seeds the walk, each iteration
+	// advances in amortized O(1), and saturated stretches are hopped
+	// slab-by-slab via the block summaries — the availability answers
+	// are the ones availAt would give at every step.
+	ci, si := t.seekEps(cur)
 	for remaining > volume*1e-9+Eps/2 {
 		avail, until := 1.0, math.Inf(1)
-		if i < len(t.segs) {
-			if s := &t.segs[i]; s.start > cur+Eps {
-				avail, until = 1, s.start // idle gap before segment i
+		if ci < len(t.chunks) {
+			if s := &t.chunks[ci].segs[si]; s.start > cur+Eps {
+				avail, until = 1, s.start // idle gap before the segment
 			} else {
 				avail, until = s.avail, s.end
 			}
 		}
 		if avail <= Eps {
 			cur = until
-			// edgelint:ignore floateq — exact replica of availAt's
-			// sort.Search(end > cur+Eps) predicate.
-			for i < len(t.segs) && t.segs[i].end <= cur+Eps {
-				i++
-			}
+			ci, si, cur = t.skipSaturated(ci, si, cur)
 			continue
 		}
 		if start < 0 {
@@ -271,11 +485,7 @@ func (t *BWTimeline) EstimateFinish(es, volume, speed float64) (start, finish fl
 		}
 		remaining -= avail * speed * (end - cur)
 		cur = end
-		// edgelint:ignore floateq — exact replica of availAt's
-		// sort.Search(end > cur+Eps) predicate.
-		for i < len(t.segs) && t.segs[i].end <= cur+Eps {
-			i++
-		}
+		ci, si = t.advanceEps(ci, si, cur)
 	}
 	if start < 0 {
 		start = cur
@@ -321,32 +531,86 @@ func (t *BWTimeline) Forward(owner Owner, in []Chunk, prevSpeed, speed, hopDelay
 	return out
 }
 
-// Validate checks the timeline invariants: segments sorted and
-// non-overlapping, each segment's shares summing to 1-avail with
-// avail ∈ [0, 1].
+// Validate checks the ledger invariants: segments sorted, non-
+// overlapping, with strictly increasing ends (the two-level search and
+// the slab hops rely on that exactly); each segment's shares summing to
+// 1-avail with avail ∈ [0, 1]; boundaries bounded by maxAbs; and every
+// slab's summaries exactly equal to a fresh recomputation.
 func (t *BWTimeline) Validate() error {
+	i := 0
 	prevEnd := math.Inf(-1)
-	for i, s := range t.segs {
-		if fptime.LessEps(s.end, s.start) {
-			return fmt.Errorf("linksched: bw segment %d inverted [%v, %v]", i, s.start, s.end)
-		}
-		if fptime.LessEps(s.start, prevEnd) {
-			return fmt.Errorf("linksched: bw segment %d overlaps previous", i)
-		}
-		sum := 0.0
-		for _, u := range s.uses {
-			if u.rate <= 0 || u.rate > 1+Eps {
-				return fmt.Errorf("linksched: bw segment %d has invalid share %v", i, u.rate)
+	for ci := range t.chunks {
+		for _, s := range t.chunks[ci].segs {
+			if fptime.LessEps(s.end, s.start) {
+				return fmt.Errorf("linksched: bw segment %d inverted [%v, %v]", i, s.start, s.end)
 			}
-			sum += u.rate
+			if fptime.LessEps(s.start, prevEnd) {
+				return fmt.Errorf("linksched: bw segment %d overlaps previous", i)
+			}
+			// edgelint:ignore floateq — the chunked binary search and
+			// the advanceEps slab hop assume exactly increasing ends.
+			if s.end <= prevEnd {
+				return fmt.Errorf("linksched: bw segment %d end %v not increasing past %v", i, s.end, prevEnd)
+			}
+			sum := 0.0
+			for _, u := range s.uses {
+				if u.rate <= 0 || u.rate > 1+Eps {
+					return fmt.Errorf("linksched: bw segment %d has invalid share %v", i, u.rate)
+				}
+				sum += u.rate
+			}
+			if sum > 1+1e-6 {
+				return fmt.Errorf("linksched: bw segment %d oversubscribed: shares sum to %v", i, sum)
+			}
+			if math.Abs((1-sum)-s.avail) > 1e-6 {
+				return fmt.Errorf("linksched: bw segment %d avail %v inconsistent with shares %v", i, s.avail, sum)
+			}
+			if math.Abs(s.start) > t.maxAbs || math.Abs(s.end) > t.maxAbs {
+				return fmt.Errorf("linksched: bw segment %d [%v, %v] exceeds magnitude bound %v", i, s.start, s.end, t.maxAbs)
+			}
+			prevEnd = s.end
+			i++
 		}
-		if sum > 1+1e-6 {
-			return fmt.Errorf("linksched: bw segment %d oversubscribed: shares sum to %v", i, sum)
+	}
+	if i != t.nsegs {
+		return fmt.Errorf("linksched: bw store counts %d segments, holds %d", t.nsegs, i)
+	}
+	return t.validateChunks()
+}
+
+// validateChunks checks the slab structure and recomputes every block
+// summary, comparing exactly: the summaries are folds of the very
+// float64 values the recomputation reads, so any difference is an
+// index-maintenance bug, not rounding.
+func (t *BWTimeline) validateChunks() error {
+	for ci := range t.chunks {
+		c := &t.chunks[ci]
+		if len(c.segs) == 0 {
+			return fmt.Errorf("linksched: bw chunk %d is empty", ci)
 		}
-		if math.Abs((1-sum)-s.avail) > 1e-6 {
-			return fmt.Errorf("linksched: bw segment %d avail %v inconsistent with shares %v", i, s.avail, sum)
+		if len(c.segs) > 2*bwBlock {
+			return fmt.Errorf("linksched: bw chunk %d holds %d segments (max %d)", ci, len(c.segs), 2*bwBlock)
 		}
-		prevEnd = s.end
+		maxAvail, maxGap, minEndDiff := math.Inf(-1), math.Inf(-1), math.Inf(1)
+		for i := range c.segs {
+			if a := c.segs[i].avail; a > maxAvail {
+				maxAvail = a
+			}
+			if i > 0 {
+				if g := c.segs[i].start - c.segs[i-1].end; g > maxGap {
+					maxGap = g
+				}
+				if d := c.segs[i].end - c.segs[i-1].end; d < minEndDiff {
+					minEndDiff = d
+				}
+			}
+		}
+		// edgelint:ignore floateq — exact equality by design: same
+		// floats, same fold as reindexChunk.
+		if c.maxAvail != maxAvail || c.maxGap != maxGap || c.minEndDiff != minEndDiff {
+			return fmt.Errorf("linksched: bw chunk %d summaries (%v, %v, %v) != recomputed (%v, %v, %v)",
+				ci, c.maxAvail, c.maxGap, c.minEndDiff, maxAvail, maxGap, minEndDiff)
+		}
 	}
 	return nil
 }
@@ -355,16 +619,23 @@ func (t *BWTimeline) Validate() error {
 // either copy never affect the other. Used by forked scheduler states
 // probing processor candidates in parallel.
 func (t *BWTimeline) Clone() *BWTimeline {
-	cp := make([]seg, len(t.segs))
-	for i, s := range t.segs {
-		cp[i] = seg{start: s.start, end: s.end, avail: s.avail, uses: append([]use(nil), s.uses...)}
+	cp := make([]bwChunk, len(t.chunks))
+	for i := range t.chunks {
+		c := &t.chunks[i]
+		segs := make([]seg, len(c.segs))
+		for j, s := range c.segs {
+			segs[j] = seg{start: s.start, end: s.end, avail: s.avail, uses: append([]use(nil), s.uses...)}
+		}
+		cp[i] = bwChunk{segs: segs, maxAvail: c.maxAvail, maxGap: c.maxGap, minEndDiff: c.minEndDiff}
 	}
-	return &BWTimeline{segs: cp}
+	return &BWTimeline{chunks: cp, nsegs: t.nsegs, maxAbs: t.maxAbs}
 }
 
 // BWSnapshot captures a BWTimeline for later Restore.
 type BWSnapshot struct {
-	segs []seg
+	chunks []bwChunk
+	nsegs  int
+	maxAbs float64
 }
 
 // Snapshot returns a restorable deep copy of the current state.
@@ -374,14 +645,37 @@ func (t *BWTimeline) Snapshot() BWSnapshot {
 
 // SnapshotInto captures the current state reusing the buffers of a
 // stale snapshot (one that will never be restored again), including the
-// per-segment use slices. See Timeline.SnapshotInto.
+// per-slab segment slices and per-segment use slices. See
+// Timeline.SnapshotInto.
 func (t *BWTimeline) SnapshotInto(old BWSnapshot) BWSnapshot {
-	return BWSnapshot{segs: copySegs(old.segs, t.segs)}
+	return BWSnapshot{chunks: copyChunks(old.chunks, t.chunks), nsegs: t.nsegs, maxAbs: t.maxAbs}
 }
 
-// Restore resets the timeline to a previously captured snapshot.
+// Restore resets the timeline to a previously captured snapshot,
+// including the block summaries — no reindex needed.
 func (t *BWTimeline) Restore(s BWSnapshot) {
-	t.segs = copySegs(t.segs, s.segs)
+	t.chunks = copyChunks(t.chunks, s.chunks)
+	t.nsegs = s.nsegs
+	t.maxAbs = s.maxAbs
+}
+
+// copyChunks deep-copies src into dst's backing storage, reusing the
+// outer slice, the per-slab segment slices, and the per-segment use
+// buffers they already hold. dst and src never share those buffers
+// (snapshots copy out of the timeline, the timeline copies out of
+// snapshots), so the element-wise copies cannot alias.
+func copyChunks(dst, src []bwChunk) []bwChunk {
+	n := len(src)
+	if cap(dst) < n {
+		dst = append(dst[:cap(dst)], make([]bwChunk, n-cap(dst))...)
+	}
+	dst = dst[:n]
+	for i := range src {
+		c := &src[i]
+		dst[i].segs = copySegs(dst[i].segs, c.segs)
+		dst[i].maxAvail, dst[i].maxGap, dst[i].minEndDiff = c.maxAvail, c.maxGap, c.minEndDiff
+	}
+	return dst
 }
 
 // copySegs deep-copies src into dst's backing storage, reusing the
@@ -403,4 +697,4 @@ func copySegs(dst, src []seg) []seg {
 }
 
 // NumSegments reports the number of segments (for tests/statistics).
-func (t *BWTimeline) NumSegments() int { return len(t.segs) }
+func (t *BWTimeline) NumSegments() int { return t.nsegs }

@@ -344,18 +344,38 @@ func TestBWValidateCatchesCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt the books directly.
-	bw.segs[0].avail = 0.9 // inconsistent with the 0.5 share
+	s0 := &bw.chunks[0].segs[0]
+	s0.avail = 0.9 // inconsistent with the 0.5 share
 	if err := bw.Validate(); err == nil {
 		t.Fatal("inconsistent avail accepted")
 	}
-	bw.segs[0].avail = 0.5
-	bw.segs[0].uses[0].rate = 1.5
+	s0.avail = 0.5
+	s0.uses[0].rate = 1.5
 	if err := bw.Validate(); err == nil {
 		t.Fatal("share > 1 accepted")
 	}
-	bw.segs[0].uses[0].rate = 0.5
-	bw.segs[0].end = bw.segs[0].start - 1
+	s0.uses[0].rate = 0.5
+	end := s0.end
+	s0.end = s0.start - 1
 	if err := bw.Validate(); err == nil {
 		t.Fatal("inverted segment accepted")
+	}
+	s0.end = end
+	// Corrupting a block summary without reindexing must be caught too.
+	bw.chunks[0].maxAvail = 0.25
+	if err := bw.Validate(); err == nil {
+		t.Fatal("stale block summary accepted")
+	}
+	bw.reindexChunk(0)
+	// A segment count out of sync with the slabs must be caught.
+	bw.nsegs++
+	if err := bw.Validate(); err == nil {
+		t.Fatal("wrong segment count accepted")
+	}
+	bw.nsegs--
+	// A boundary beyond the tracked magnitude bound must be caught.
+	bw.maxAbs = s0.end / 2
+	if err := bw.Validate(); err == nil {
+		t.Fatal("boundary beyond maxAbs accepted")
 	}
 }

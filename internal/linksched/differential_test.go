@@ -196,3 +196,260 @@ func FuzzTimelineDifferential(f *testing.F) {
 		}
 	})
 }
+
+// --- bandwidth ledger differential ----------------------------------
+//
+// The chunked, block-summary BWTimeline (bandwidth.go) against the
+// retained flat linear ledger (bwRef in reference.go). Same contract as
+// above: every chunk, segment, and estimate must match the reference
+// bit-for-bit, after every operation.
+
+// bwPair drives the chunked store and the linear reference through
+// identical operations and compares the results and the full segment
+// state exactly.
+type bwPair struct {
+	bw  *BWTimeline
+	ref *bwRef
+}
+
+func newBWPair() *bwPair { return &bwPair{bw: NewBWTimeline(), ref: &bwRef{}} }
+
+// checkState validates the chunked store (including the exact block-
+// summary recomputation) and compares its segments one-to-one with the
+// reference ledger.
+func (p *bwPair) checkState(t *testing.T, ctx string) {
+	t.Helper()
+	if err := p.bw.Validate(); err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	got := p.bw.Segments()
+	if len(got) != len(p.ref.segs) || p.bw.NumSegments() != len(p.ref.segs) {
+		t.Fatalf("%s: %d segments (NumSegments %d), reference %d",
+			ctx, len(got), p.bw.NumSegments(), len(p.ref.segs))
+	}
+	for i, rs := range p.ref.segs {
+		g := got[i]
+		// edgelint:ignore floateq — bit-identity contract, exact by design.
+		if g.Start != rs.start || g.End != rs.end || g.Avail != rs.avail {
+			t.Fatalf("%s: segment %d = (%v, %v, avail %v), reference (%v, %v, avail %v)",
+				ctx, i, g.Start, g.End, g.Avail, rs.start, rs.end, rs.avail)
+		}
+		if len(g.Uses) != len(rs.uses) {
+			t.Fatalf("%s: segment %d has %d uses, reference %d", ctx, i, len(g.Uses), len(rs.uses))
+		}
+		for j, u := range rs.uses {
+			// edgelint:ignore floateq — bit-identity contract.
+			if g.Uses[j].Owner != u.owner || g.Uses[j].Rate != u.rate {
+				t.Fatalf("%s: segment %d use %d = %+v, reference %+v", ctx, i, j, g.Uses[j], u)
+			}
+		}
+	}
+}
+
+// bwChunksEqual is the exact chunk-sequence comparison.
+func bwChunksEqual(a, b []Chunk) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// edgelint:ignore floateq — bit-identity contract.
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *bwPair) alloc(t *testing.T, owner Owner, es, vol, speed, cap float64) []Chunk {
+	t.Helper()
+	got := p.bw.Alloc(owner, es, vol, speed, cap)
+	want := p.ref.alloc(owner, es, vol, speed, cap)
+	if !bwChunksEqual(got, want) {
+		t.Fatalf("Alloc(es=%v, vol=%v, speed=%v, cap=%v) = %+v, reference %+v at %d segments",
+			es, vol, speed, cap, got, want, p.bw.NumSegments())
+	}
+	p.checkState(t, "after Alloc")
+	return got
+}
+
+func (p *bwPair) forward(t *testing.T, owner Owner, in []Chunk, prevSpeed, speed, hop float64) []Chunk {
+	t.Helper()
+	got := p.bw.Forward(owner, in, prevSpeed, speed, hop)
+	want := p.ref.forward(owner, in, prevSpeed, speed, hop)
+	if !bwChunksEqual(got, want) {
+		t.Fatalf("Forward(%d chunks, prevSpeed=%v, speed=%v, hop=%v) = %+v, reference %+v",
+			len(in), prevSpeed, speed, hop, got, want)
+	}
+	p.checkState(t, "after Forward")
+	return got
+}
+
+func (p *bwPair) estimate(t *testing.T, es, vol, speed float64) {
+	t.Helper()
+	gs, gf := p.bw.EstimateFinish(es, vol, speed)
+	ws, wf := p.ref.estimateFinish(es, vol, speed)
+	// edgelint:ignore floateq — bit-identity contract.
+	if gs != ws || gf != wf {
+		t.Fatalf("EstimateFinish(es=%v, vol=%v, speed=%v) = (%v, %v), reference (%v, %v) at %d segments",
+			es, vol, speed, gs, gf, ws, wf, p.bw.NumSegments())
+	}
+}
+
+// TestBWDifferential drives both ledgers over randomized mixed
+// Alloc/Forward sequences across the scaling range — well below one
+// slab up to many dozens — comparing chunks, segments, and estimates
+// exactly after every operation.
+func TestBWDifferential(t *testing.T) {
+	for _, n := range []int{0, 1, 7, bwBlock - 1, bwBlock, 2*bwBlock + 1, 100, 333, 1000} {
+		r := rand.New(rand.NewSource(int64(n) + 1))
+		p := newBWPair()
+		span := float64(n)*2 + 10
+		for i := 0; i < n; i++ {
+			owner := Owner{Edge: i, Leg: 0}
+			es := r.Float64() * span
+			vol := r.Float64()*50 + 1
+			switch i % 5 {
+			case 0, 1, 2:
+				p.alloc(t, owner, es, vol, 2, 0)
+			case 3:
+				// Capped: partial rates fragment the ledger into
+				// partially available segments.
+				p.alloc(t, owner, es, vol, 1, 0.25+r.Float64()*0.5)
+			case 4:
+				in := []Chunk{
+					{Start: es, End: es + vol/2, Rate: 0.5, Volume: vol / 4},
+					{Start: es + vol/2 + 1, End: es + vol/2 + 1 + vol/4, Rate: 1, Volume: vol / 2},
+				}
+				p.forward(t, owner, in, 2, 1, r.Float64())
+			}
+		}
+		// Probe-only estimates within, across, and beyond the ledger.
+		for trial := 0; trial < 50; trial++ {
+			p.estimate(t, r.Float64()*span*1.2, r.Float64()*100+0.1, 1+r.Float64())
+		}
+		p.estimate(t, 0, 1e-12, 1)   // sub-Eps volume
+		p.estimate(t, span*10, 5, 1) // start past every segment
+	}
+}
+
+// TestBWDifferentialAdversarial aims at the prune margins: long fully
+// saturated runs whose boundaries carry sub-Eps jitter (so consecutive
+// segment ends cluster within Eps of each other), across magnitudes
+// from 1 to 1e8 — the slack threshold disables the slab hop above
+// ~2.5e5, so both the engaged and the disabled regime are exercised.
+func TestBWDifferentialAdversarial(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		base := math.Pow(10, float64(r.Intn(9))) // magnitudes 1 .. 1e8
+		p := newBWPair()
+		cur := 0.0
+		n := 2*bwBlock + r.Intn(4*bwBlock)
+		for i := 0; i < n; i++ {
+			es := cur
+			if r.Intn(3) == 0 {
+				es += Eps * float64(r.Intn(5)) / 2 // sub-Eps jitter
+			}
+			if r.Intn(5) == 0 {
+				es += base / 64 // a real idle gap
+			}
+			vol := base/8 + float64(r.Intn(4))*base/32
+			// Uncapped at speed 1: rate 1, fully saturating [es, es+vol].
+			cs := p.alloc(t, Owner{Edge: i}, es, vol, 1, 0)
+			cur = cs[len(cs)-1].End
+		}
+		// Estimates that must crawl or hop through the saturated runs.
+		for probe := 0; probe < 40; probe++ {
+			p.estimate(t, r.Float64()*cur, base/16, 1)
+		}
+		// Capped allocations skip the same runs on the mutating path.
+		for i := 0; i < 10; i++ {
+			p.alloc(t, Owner{Edge: n + i, Leg: 1}, r.Float64()*cur, base/32, 1, 0.5)
+		}
+	}
+}
+
+// TestBWSnapshotRoundTripKeepsIndex pins that Snapshot/Restore and
+// Clone carry the chunked store and its block summaries: after a round
+// trip the store must validate (summaries recomputed exactly) and
+// further operations must still track the reference.
+func TestBWSnapshotRoundTripKeepsIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := newBWPair()
+	const span = 500.0
+	for i := 0; i < 200; i++ {
+		p.alloc(t, Owner{Edge: i}, r.Float64()*span, r.Float64()*20+1, 2, 0)
+	}
+	snap := p.bw.Snapshot()
+	refSnap := copySegs(nil, p.ref.segs)
+	for i := 0; i < 50; i++ {
+		p.bw.Alloc(Owner{Edge: 1000 + i}, r.Float64()*span, 5, 1, 0)
+	}
+	p.bw.Restore(snap)
+	p.ref.segs = copySegs(p.ref.segs, refSnap)
+	p.checkState(t, "after restore")
+	// A clone's mutations must not leak back, and the clone itself must
+	// keep a valid index.
+	cl := p.bw.Clone()
+	cl.Alloc(Owner{Edge: 1}, 2*span, 100, 1, 0)
+	p.checkState(t, "after clone mutation")
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	// The restored original keeps tracking the reference.
+	for i := 0; i < 50; i++ {
+		p.alloc(t, Owner{Edge: 2000 + i, Leg: 1}, r.Float64()*span, r.Float64()*10+1, 1, 0.5)
+	}
+}
+
+// FuzzBWTimelineDifferential fuzzes Alloc/Forward/EstimateFinish/
+// Snapshot/Restore sequences against the linear reference: chunks,
+// estimates, and the full segment state must match exactly and the
+// chunk invariants must hold after every operation.
+func FuzzBWTimelineDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x01, 0xfe, 0x55, 0xaa})
+	seed := make([]byte, 6*(2*bwBlock+5))
+	for i := range seed {
+		seed[i] = byte(i * 53)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := newBWPair()
+		var snap BWSnapshot
+		var refSnap []seg
+		haveSnap := false
+		for i := 0; i+6 <= len(data); i += 6 {
+			op := data[i] % 8
+			es := float64(data[i+1])*4 + float64(data[i+2])/64
+			vol := float64(data[i+3])/4 + 0.01
+			cap := float64(data[i+4]%5) / 4 // 0 = uncapped .. 1
+			speed := 1 + float64(data[i+5]%4)
+			owner := Owner{Edge: i, Leg: int(data[i+5] % 2)}
+			switch op {
+			case 0, 1, 2:
+				p.alloc(t, owner, es, vol, speed, cap)
+			case 3:
+				rate := 0.25 + cap/2
+				in := []Chunk{{Start: es, End: es + vol, Rate: rate, Volume: vol * rate * speed}}
+				p.forward(t, owner, in, speed, 1, float64(data[i+4]%3))
+			case 4:
+				p.estimate(t, es, vol, speed)
+			case 5:
+				snap = p.bw.SnapshotInto(snap)
+				refSnap = copySegs(refSnap, p.ref.segs)
+				haveSnap = true
+			default:
+				if haveSnap {
+					p.bw.Restore(snap)
+					p.ref.segs = copySegs(p.ref.segs, refSnap)
+				} else {
+					p.alloc(t, owner, es, vol, speed, 0)
+				}
+			}
+			if i%30 == 0 || op >= 5 {
+				p.checkState(t, "post-op")
+			}
+		}
+		p.checkState(t, "final")
+	})
+}

@@ -160,6 +160,50 @@ func (g *GappedLeaky) Clone() *GappedLeaky {
 	}
 }
 
+// bwSlab mirrors one slab of the chunked bandwidth store: a segment
+// slice plus its derived block summaries.
+type bwSlab struct {
+	segs     []float64
+	maxAvail float64
+}
+
+// BWChunked mirrors the chunked-slab BWTimeline: the outer slab slice
+// holds nested segment slices, so a correct Clone rebuilds the outer
+// slice with make and deep-copies each slab's segments in the loop —
+// the summary scalars ride along by value.
+type BWChunked struct {
+	chunks []bwSlab
+	nsegs  int
+	maxAbs float64
+}
+
+func (b *BWChunked) Clone() *BWChunked {
+	cp := make([]bwSlab, len(b.chunks))
+	for i := range b.chunks {
+		cp[i] = bwSlab{
+			segs:     append([]float64(nil), b.chunks[i].segs...),
+			maxAvail: b.chunks[i].maxAvail,
+		}
+	}
+	return &BWChunked{chunks: cp, nsegs: b.nsegs, maxAbs: b.maxAbs}
+}
+
+// BWChunkedLeaky shares the slab slice wholesale — both copies then
+// mutate the same slabs (and the same block summaries) on their next
+// reserve, the exact bug the chunked-store refactor must never
+// reintroduce.
+type BWChunkedLeaky struct {
+	chunks []bwSlab
+	nsegs  int
+}
+
+func (b *BWChunkedLeaky) Clone() *BWChunkedLeaky {
+	return &BWChunkedLeaky{
+		chunks: b.chunks, // want "BWChunkedLeaky.Clone shallow-copies reference field chunks"
+		nsegs:  b.nsegs,
+	}
+}
+
 // Hushed shares deliberately and suppresses both analyzers with one
 // comma-separated ignore directive (no want: the finding must be
 // filtered before expectation checking).

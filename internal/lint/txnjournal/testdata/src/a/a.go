@@ -90,6 +90,7 @@ func (s *state) placeTask(tid TaskID, proc NodeID, cond bool) {
 	s.cowPattern(0)
 	s.elseBranch(cond)
 	s.indexMaintenance(cond)
+	s.bwIndexMaintenance(cond)
 	s.ignored(proc)
 }
 
@@ -106,6 +107,22 @@ func (s *state) indexMaintenance(cond bool) {
 		s.tl[1].Reindex(2) // want "mutating call Reindex on journaled field state.tl is not dominated"
 	}
 	_ = s.tl[1].SnapshotInto(nil)
+}
+
+// bwIndexMaintenance mirrors the chunked bandwidth ledger: its slab
+// summaries (max avail, max gap, end spacing) are journaled state
+// exactly like the segments they index, so rebuilding them needs
+// touchBWTimeline dominance — the bandwidth analogue of the Timeline's
+// Reindex case above. Probe-only estimates stay read-only.
+func (s *state) bwIndexMaintenance(cond bool) {
+	if cond {
+		s.touchBWTimeline(2)
+		s.bw[2].Reindex(1)
+	} else {
+		s.bw[2].Reindex(2) // want "mutating call Reindex on journaled field state.bw is not dominated"
+	}
+	_ = s.bw[2].ProbeBasic(3)
+	_ = s.bw[2].SnapshotInto(nil)
 }
 
 // helper is reachable from placeTask: its stores are checked.

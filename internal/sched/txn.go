@@ -182,6 +182,9 @@ func (s *state) touchProcTimeline(id network.NodeID) {
 }
 
 // touchBWTimeline journals a bandwidth timeline before modification.
+// The snapshot carries the chunked slabs and their block summaries
+// wholesale (buffer-reused via the stale snapshot), so a rollback
+// restores the availability index without any reindexing.
 func (s *state) touchBWTimeline(id network.LinkID) {
 	if s.tx == nil {
 		return
