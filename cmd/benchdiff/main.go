@@ -27,6 +27,12 @@
 // algorithmic regressions (linear rescans, lost caches), not to police
 // single-digit noise; the committed snapshot trail is the precise
 // record.
+//
+// -check also gates allocs/op, which unlike wall time is deterministic:
+// a gated benchmark whose baseline allocs/op is zero must stay at
+// exactly zero (the zero-alloc pin — one allocation on a steady-state
+// path is a real leak, not noise), and a nonzero baseline tolerates the
+// same -max-regress percentage as ns/op.
 package main
 
 import (
@@ -136,10 +142,13 @@ func main() {
 // 10^4-scale bandwidth sweeps, whose tens of milliseconds per op make
 // them regression-stable and which are exactly where a lost index or a
 // reintroduced linear rescan in the BBSA ledger shows up first.
-// Single-digit-microsecond micro-benchmarks stay out — too noisy to
-// gate on a shared machine.
+// Single-digit-microsecond micro-benchmarks stay out of the ns/op gate
+// — too noisy to time on a shared machine — but the 10^4-scale probe
+// kernels are in for their allocs/op, which is deterministic: their
+// baselines are zero and the gate pins them there (the noalloc
+// analyzer's claim, re-checked at runtime).
 const defaultGate = "BenchmarkScheduleBA,BenchmarkScheduleBASinnen,BenchmarkScheduleBASinnenLarge,BenchmarkScheduleOIHSA,BenchmarkScheduleBBSA," +
-	"BenchmarkBandwidthAllocForward/jobs=10000,BenchmarkBandwidthEstimateFinish/segs=10000"
+	"BenchmarkBandwidthAllocForward/jobs=10000,BenchmarkBandwidthEstimateFinish/segs=10000,BenchmarkTimelineProbeBasic/slots=10000@allocs"
 
 // runBench shells out to go test -bench and returns its stdout.
 func runBench(bench string, count int, benchTime, timeOut, pkg string) (string, []string, error) {
@@ -174,12 +183,12 @@ func runCheck(dir, gate string, count int, benchTime, timeOut, pkg string, maxPc
 	if err != nil {
 		return err
 	}
-	names := splitGate(gate)
-	if len(names) == 0 {
+	entries := splitGate(gate)
+	if len(entries) == 0 {
 		return fmt.Errorf("-gate names no benchmarks")
 	}
 	cur := map[string]Sample{}
-	for _, group := range gateGroups(names) {
+	for _, group := range gateGroups(entries) {
 		out, _, err := runBench(gatePattern(group), count, benchTime, timeOut, pkg)
 		if err != nil {
 			return err
@@ -191,8 +200,9 @@ func runCheck(dir, gate string, count int, benchTime, timeOut, pkg string, maxPc
 	if len(cur) == 0 {
 		return fmt.Errorf("gate run produced no parsable benchmark lines")
 	}
-	violations := gateViolations(old.Benchmarks, cur, names, maxPct)
-	for _, name := range names {
+	violations := gateViolations(old.Benchmarks, cur, entries, maxPct)
+	for _, entry := range entries {
+		name, _ := gateName(entry)
 		o, inOld := old.Benchmarks[name]
 		n, inCur := cur[name]
 		switch {
@@ -201,8 +211,9 @@ func runCheck(dir, gate string, count int, benchTime, timeOut, pkg string, maxPc
 		case !inCur:
 			fmt.Printf("%-34s MISSING from gate run\n", name)
 		default:
-			fmt.Printf("%-34s min %14.0f -> %14.0f ns/op  %+6.1f%%\n",
-				name, o.MinNsPerOp, n.MinNsPerOp, pct(o.MinNsPerOp, n.MinNsPerOp))
+			fmt.Printf("%-34s min %14.0f -> %14.0f ns/op  %+6.1f%%  %6.0f -> %6.0f allocs/op\n",
+				name, o.MinNsPerOp, n.MinNsPerOp, pct(o.MinNsPerOp, n.MinNsPerOp),
+				o.AllocsPerOp, n.AllocsPerOp)
 		}
 	}
 	if len(violations) > 0 {
@@ -210,9 +221,9 @@ func runCheck(dir, gate string, count int, benchTime, timeOut, pkg string, maxPc
 			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION "+v)
 		}
 		return fmt.Errorf("%d of %d gated benchmarks regressed beyond +%.0f%% vs %s",
-			len(violations), len(names), maxPct, prevPath)
+			len(violations), len(entries), maxPct, prevPath)
 	}
-	fmt.Printf("benchdiff: %d gated benchmarks within +%.0f%% of %s\n", len(names), maxPct, prevPath)
+	fmt.Printf("benchdiff: %d gated benchmarks within +%.0f%% of %s\n", len(entries), maxPct, prevPath)
 	return nil
 }
 
@@ -252,6 +263,7 @@ func gateGroups(names []string) [][]string {
 func gatePattern(names []string) string {
 	var levels [][]string
 	for _, name := range names {
+		name, _ = gateName(name)
 		for l, part := range strings.Split(name, "/") {
 			if l == len(levels) {
 				levels = append(levels, nil)
@@ -276,6 +288,15 @@ func gatePattern(names []string) string {
 	return strings.Join(parts, "/")
 }
 
+// gateName splits one -gate entry into the benchmark name and whether
+// the entry is gated on allocs/op only. A "@allocs" suffix opts a
+// benchmark out of the ns/op comparison: sub-microsecond kernels are
+// too noisy to time at -benchtime 5x on a shared machine, but their
+// allocation count is deterministic and worth pinning.
+func gateName(entry string) (name string, allocsOnly bool) {
+	return strings.CutSuffix(entry, "@allocs")
+}
+
 // splitGate parses the comma-separated gate list, dropping empties.
 func splitGate(gate string) []string {
 	var names []string
@@ -288,13 +309,16 @@ func splitGate(gate string) []string {
 }
 
 // gateViolations compares the gated benchmarks' best-of-count ns/op
-// between the baseline and the current run. A gated benchmark missing
-// from the current run is a violation (the gate must not silently
-// shrink); one missing from the baseline is skipped (it is new and has
-// no reference yet).
+// and mean allocs/op between the baseline and the current run. A gated
+// benchmark missing from the current run is a violation (the gate must
+// not silently shrink); one missing from the baseline is skipped (it
+// is new and has no reference yet). Allocation counts are
+// deterministic, so a zero-alloc baseline is an exact pin: any
+// allocation at all is a violation, with no percentage headroom.
 func gateViolations(old, cur map[string]Sample, names []string, maxPct float64) []string {
 	var out []string
-	for _, name := range names {
+	for _, entry := range names {
+		name, allocsOnly := gateName(entry)
 		o, inOld := old[name]
 		if !inOld {
 			continue
@@ -304,9 +328,19 @@ func gateViolations(old, cur map[string]Sample, names []string, maxPct float64) 
 			out = append(out, fmt.Sprintf("%s: missing from gate run", name))
 			continue
 		}
-		if d := pct(o.MinNsPerOp, n.MinNsPerOp); d > maxPct {
+		if d := pct(o.MinNsPerOp, n.MinNsPerOp); !allocsOnly && d > maxPct {
 			out = append(out, fmt.Sprintf("%s: min ns/op %+.1f%% (%.0f -> %.0f, limit +%.0f%%)",
 				name, d, o.MinNsPerOp, n.MinNsPerOp, maxPct))
+		}
+		switch {
+		case o.AllocsPerOp == 0 && n.AllocsPerOp > 0:
+			out = append(out, fmt.Sprintf("%s: allocs/op %.1f, baseline pinned at 0",
+				name, n.AllocsPerOp))
+		case o.AllocsPerOp > 0:
+			if d := pct(o.AllocsPerOp, n.AllocsPerOp); d > maxPct {
+				out = append(out, fmt.Sprintf("%s: allocs/op %+.1f%% (%.0f -> %.0f, limit +%.0f%%)",
+					name, d, o.AllocsPerOp, n.AllocsPerOp, maxPct))
+			}
 		}
 	}
 	return out

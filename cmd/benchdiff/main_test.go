@@ -128,6 +128,62 @@ func TestGateViolations(t *testing.T) {
 	}
 }
 
+func TestGateViolationsAllocs(t *testing.T) {
+	old := map[string]Sample{
+		"BenchmarkZero":  {MinNsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkSome":  {MinNsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkSome2": {MinNsPerOp: 1000, AllocsPerOp: 100},
+	}
+	cur := map[string]Sample{
+		// A zero-alloc baseline is an exact pin: even a fractional mean
+		// (one alloc in some -count repetitions) is a violation.
+		"BenchmarkZero":  {MinNsPerOp: 1000, AllocsPerOp: 0.2},
+		"BenchmarkSome":  {MinNsPerOp: 1000, AllocsPerOp: 140}, // +40%: inside a 50% limit
+		"BenchmarkSome2": {MinNsPerOp: 1000, AllocsPerOp: 160}, // +60%: regression
+	}
+	names := []string{"BenchmarkZero", "BenchmarkSome", "BenchmarkSome2"}
+	got := gateViolations(old, cur, names, 50)
+	if len(got) != 2 {
+		t.Fatalf("got %d violations %v, want 2", len(got), got)
+	}
+	if !strings.Contains(got[0], "pinned at 0") {
+		t.Errorf("zero-alloc violation %q does not name the pin", got[0])
+	}
+	// Exactly zero stays clean, and fewer allocs never trips.
+	clean := map[string]Sample{
+		"BenchmarkZero": {MinNsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkSome": {MinNsPerOp: 1000, AllocsPerOp: 10},
+	}
+	if v := gateViolations(old, clean, []string{"BenchmarkZero", "BenchmarkSome"}, 50); len(v) != 0 {
+		t.Fatalf("clean allocs flagged: %v", v)
+	}
+}
+
+func TestGateAllocsOnlyEntries(t *testing.T) {
+	if name, ok := gateName("BenchmarkX/slots=10@allocs"); name != "BenchmarkX/slots=10" || !ok {
+		t.Fatalf("gateName = %q, %v", name, ok)
+	}
+	if name, ok := gateName("BenchmarkX"); name != "BenchmarkX" || ok {
+		t.Fatalf("gateName = %q, %v", name, ok)
+	}
+	old := map[string]Sample{"BenchmarkMicro": {MinNsPerOp: 900, AllocsPerOp: 0}}
+	// A 3x ns/op swing on an @allocs entry is ignored — sub-microsecond
+	// kernels cannot be timed reliably at -benchtime 5x — but a single
+	// allocation still trips the zero pin.
+	noisy := map[string]Sample{"BenchmarkMicro": {MinNsPerOp: 2700, AllocsPerOp: 0}}
+	if v := gateViolations(old, noisy, []string{"BenchmarkMicro@allocs"}, 50); len(v) != 0 {
+		t.Fatalf("@allocs entry tripped the ns gate: %v", v)
+	}
+	leaky := map[string]Sample{"BenchmarkMicro": {MinNsPerOp: 900, AllocsPerOp: 1}}
+	if v := gateViolations(old, leaky, []string{"BenchmarkMicro@allocs"}, 50); len(v) != 1 {
+		t.Fatalf("@allocs entry missed the zero-alloc pin: %v", v)
+	}
+	// The suffix never leaks into the -bench pattern.
+	if p := gatePattern([]string{"BenchmarkMicro@allocs"}); p != "^(BenchmarkMicro)$" {
+		t.Fatalf("gatePattern = %q", p)
+	}
+}
+
 func TestSplitGate(t *testing.T) {
 	got := splitGate(" BenchmarkA, ,BenchmarkB,")
 	if len(got) != 2 || got[0] != "BenchmarkA" || got[1] != "BenchmarkB" {
@@ -199,7 +255,8 @@ func TestDefaultGateNamesExistInSuite(t *testing.T) {
 	if err != nil {
 		t.Skipf("bench suite not readable: %v", err)
 	}
-	for _, name := range splitGate(defaultGate) {
+	for _, entry := range splitGate(defaultGate) {
+		name, _ := gateName(entry)
 		parts := strings.SplitN(name, "/", 2)
 		decl := "func " + parts[0] + "(b *testing.B)"
 		if !strings.Contains(string(data), decl) {

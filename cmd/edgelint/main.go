@@ -9,6 +9,7 @@
 //	errflow       dropped errors from this module's exported APIs
 //	floateq       bare float64 time/cost comparisons (use internal/fptime)
 //	immutable     writes to edgelint:immutable types outside their constructors
+//	noalloc       allocating constructs reachable from edgelint:noalloc hot paths
 //	routerconfine *network.Router values crossing goroutine boundaries
 //	seededrand    unseeded randomness and wall-clock time in libraries
 //	txnjournal    un-journaled stores to transactional scheduler state
@@ -31,7 +32,9 @@
 //	// edgelint:ignore <analyzer> — <reason>
 //
 // on the offending line or the line above. Exits 1 if any diagnostic
-// is reported, 2 on driver errors.
+// is reported, 2 on driver errors, and 3 when one or more packages
+// could not be analyzed (load or type-check failure, analyzer panic) —
+// a partial run must not read as a clean pass.
 package main
 
 import (
@@ -50,6 +53,7 @@ import (
 	"repro/internal/lint/errflow"
 	"repro/internal/lint/floateq"
 	"repro/internal/lint/immutable"
+	"repro/internal/lint/noalloc"
 	"repro/internal/lint/routerconfine"
 	"repro/internal/lint/seededrand"
 	"repro/internal/lint/txnjournal"
@@ -64,6 +68,7 @@ var all = []*lint.Analyzer{
 	errflow.Analyzer,
 	floateq.Analyzer,
 	immutable.Analyzer,
+	noalloc.Analyzer,
 	routerconfine.Analyzer,
 	seededrand.Analyzer,
 	txnjournal.Analyzer,
@@ -91,7 +96,7 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := runLint(".", patterns, analyzers)
+	diags, failures, err := runLint(".", patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgelint:", err)
 		os.Exit(2)
@@ -106,10 +111,26 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "edgelint: failed to analyze", f.String())
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "edgelint: %d finding(s)\n", len(diags))
-		os.Exit(1)
 	}
+	os.Exit(exitCode(diags, failures))
+}
+
+// exitCode is the driver's verdict: 3 when any package could not be
+// analyzed (even if the rest produced findings — a partial run is not
+// a pass), 1 for findings, 0 for a clean full run.
+func exitCode(diags []lint.Diagnostic, failures []lint.Failure) int {
+	switch {
+	case len(failures) > 0:
+		return 3
+	case len(diags) > 0:
+		return 1
+	}
+	return 0
 }
 
 // listAnalyzers prints the registry, one analyzer per line.
@@ -175,22 +196,26 @@ func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
 // the analyzers to every unit. Units arrive in dependency order from
 // LoadPackages and share one fact store, so facts exported while
 // analyzing a package are importable when its dependents run.
-func runLint(dir string, patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
-	units, err := lint.LoadPackages(dir, patterns)
+func runLint(dir string, patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, []lint.Failure, error) {
+	units, failures, err := lint.LoadPackages(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	facts := lint.NewFacts()
 	var diags []lint.Diagnostic
 	for _, u := range units {
 		ds, err := u.RunWith(analyzers, facts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", u.Path, err)
+			// An analyzer error (including a recovered panic) on one
+			// unit fails that unit, not the whole run: the remaining
+			// packages still get analyzed and the driver exits 3.
+			failures = append(failures, lint.Failure{Path: u.Path, Err: err})
+			continue
 		}
 		diags = append(diags, ds...)
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	return diags, failures, nil
 }
 
 // sortDiagnostics fixes the report order — file, line, column,

@@ -2,7 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -16,9 +20,12 @@ func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module")
 	}
-	diags, err := runLint("../..", []string{"./..."}, all)
+	diags, failures, err := runLint("../..", []string{"./..."}, all)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("failed to analyze %s", f.String())
 	}
 	for _, d := range diags {
 		t.Error(d.String())
@@ -49,7 +56,7 @@ func TestListAnalyzers(t *testing.T) {
 		}
 		prev = a.Name
 	}
-	for _, name := range []string{"clonecheck", "immutable", "aliasret"} {
+	for _, name := range []string{"clonecheck", "immutable", "aliasret", "noalloc"} {
 		if !strings.Contains(b.String(), name) {
 			t.Errorf("-list output missing %s", name)
 		}
@@ -88,6 +95,179 @@ func TestSelectAnalyzersUnknown(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzerPanicIsFailure pins the driver-robustness contract: an
+// analyzer that panics on some unit fails that unit (and only that
+// unit) instead of crashing the process or silently passing — the
+// remaining units are still analyzed and the run reports the failure.
+func TestAnalyzerPanicIsFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks real packages")
+	}
+	boom := &lint.Analyzer{
+		Name: "boom",
+		Doc:  "synthetic analyzer that panics on every unit",
+		Run:  func(pass *lint.Pass) error { panic("kaboom") },
+	}
+	diags, failures, err := runLint("../..", []string{"./internal/fptime"}, []*lint.Analyzer{boom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("panicking analyzer produced diagnostics: %v", diags)
+	}
+	if len(failures) == 0 {
+		t.Fatal("panicking analyzer reported no failure — the run would read as a clean pass")
+	}
+	for _, f := range failures {
+		if !strings.Contains(f.String(), "panicked") || !strings.Contains(f.String(), "kaboom") {
+			t.Errorf("failure %q does not describe the panic", f.String())
+		}
+	}
+	if code := exitCode(diags, failures); code != 3 {
+		t.Errorf("exit code %d for a run with failures, want 3", code)
+	}
+}
+
+// TestBrokenPackageIsFailure pins the load half of the same contract:
+// a package that does not type-check comes back as a Failure while the
+// run goes on, rather than aborting with an error (which previously
+// dropped all diagnostics) or being silently skipped.
+func TestBrokenPackageIsFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module brokenmod\n\ngo 1.22\n")
+	write("broken.go", "package brokenmod\n\nfunc f() int { return undefinedIdent }\n")
+	diags, failures, err := runLint(dir, []string{"./..."}, all)
+	if err != nil {
+		t.Fatalf("broken package aborted the run: %v", err)
+	}
+	if len(failures) == 0 {
+		t.Fatal("broken package produced no failure — it would read as a clean pass")
+	}
+	if code := exitCode(diags, failures); code != 3 {
+		t.Errorf("exit code %d for a run with failures, want 3", code)
+	}
+}
+
+// TestNoAllocCatchesRemovedWaiver is the live teeth check for the
+// noalloc gate: copy the module, strip the coldpath waivers out of the
+// real internal/sched journal, and the analyzer must flag the now
+// unexcused append through the annotated touch* roots. If this test
+// fails, the repo's clean self-run proves nothing — the roots are not
+// actually reaching the hot-path code.
+func TestNoAllocCatchesRemovedWaiver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and type-checks the module")
+	}
+	src, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	err = filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if rel != "." && (strings.HasPrefix(d.Name(), ".") || d.Name() == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if d.Name() != "go.mod" && !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp := filepath.Join(dir, "internal", "sched", "journal.go")
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	stripped := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "edgelint:coldpath") {
+			stripped++
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if stripped == 0 {
+		t.Fatal("journal.go has no coldpath waiver to strip — update this test")
+	}
+	if err := os.WriteFile(jp, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	na, err := selectAnalyzers("noalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, failures, err := runLint(dir, []string{"./internal/sched"}, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Fatalf("failed to analyze %s", f.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("stripping the journal waiver produced no noalloc finding — the gate has no teeth")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "append") && strings.Contains(d.Message, "put") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic names the journal append through put; got:\n%v", diags)
+	}
+}
+
+// TestExitCode pins the verdict precedence: failures dominate findings.
+func TestExitCode(t *testing.T) {
+	d := []lint.Diagnostic{{}}
+	f := []lint.Failure{{Path: "p", Err: errFailed}}
+	if got := exitCode(nil, nil); got != 0 {
+		t.Errorf("clean run: exit %d, want 0", got)
+	}
+	if got := exitCode(d, nil); got != 1 {
+		t.Errorf("findings only: exit %d, want 1", got)
+	}
+	if got := exitCode(nil, f); got != 3 {
+		t.Errorf("failures only: exit %d, want 3", got)
+	}
+	if got := exitCode(d, f); got != 3 {
+		t.Errorf("findings+failures: exit %d, want 3 (partial run is not a pass)", got)
+	}
+}
+
+var errFailed = errors.New("failed")
 
 // TestSortDiagnostics pins the deterministic report order: file, then
 // line, then column, then analyzer.

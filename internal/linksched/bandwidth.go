@@ -443,6 +443,8 @@ func appendChunk(cs []Chunk, c Chunk) []Chunk {
 // transfer of volume at link speed speed starting no earlier than es
 // (uncapped) would start and finish. Used as the modified-Dijkstra
 // probe for BBSA routing.
+//
+// edgelint:noalloc
 func (t *BWTimeline) EstimateFinish(es, volume, speed float64) (start, finish float64) {
 	if volume <= Eps {
 		return es, es
@@ -647,12 +649,16 @@ func (t *BWTimeline) Snapshot() BWSnapshot {
 // stale snapshot (one that will never be restored again), including the
 // per-slab segment slices and per-segment use slices. See
 // Timeline.SnapshotInto.
+//
+// edgelint:noalloc
 func (t *BWTimeline) SnapshotInto(old BWSnapshot) BWSnapshot {
 	return BWSnapshot{chunks: copyChunks(old.chunks, t.chunks), nsegs: t.nsegs, maxAbs: t.maxAbs}
 }
 
 // Restore resets the timeline to a previously captured snapshot,
 // including the block summaries — no reindex needed.
+//
+// edgelint:noalloc
 func (t *BWTimeline) Restore(s BWSnapshot) {
 	t.chunks = copyChunks(t.chunks, s.chunks)
 	t.nsegs = s.nsegs
@@ -667,6 +673,8 @@ func (t *BWTimeline) Restore(s BWSnapshot) {
 func copyChunks(dst, src []bwChunk) []bwChunk {
 	n := len(src)
 	if cap(dst) < n {
+		// edgelint:coldpath — one-time snapshot-buffer growth; the
+		// capacity persists across transactions via the stale snapshot.
 		dst = append(dst[:cap(dst)], make([]bwChunk, n-cap(dst))...)
 	}
 	dst = dst[:n]
@@ -686,6 +694,8 @@ func copyChunks(dst, src []bwChunk) []bwChunk {
 func copySegs(dst, src []seg) []seg {
 	n := len(src)
 	if cap(dst) < n {
+		// edgelint:coldpath — one-time snapshot-buffer growth; the
+		// capacity persists across transactions via the stale snapshot.
 		dst = append(dst[:cap(dst)], make([]seg, n-cap(dst))...)
 	}
 	dst = dst[:n]

@@ -131,6 +131,8 @@ func (r Request) lowerBound() float64 {
 // basic insertion policy (Sinnen's BA, §3) would allocate: the earliest
 // idle interval at or after the request's lower bound that fits Dur.
 // It returns the slot's start and end times.
+//
+// edgelint:noalloc
 func (t *Timeline) ProbeBasic(req Request) (start, finish float64) {
 	lb := req.lowerBound()
 	if req.Dur <= 0 {
@@ -213,6 +215,8 @@ func (t *Timeline) earliestGap(lb, dur float64) float64 {
 
 // InsertBasic allocates a slot by the basic insertion policy and
 // records it. It returns the slot's start and end times.
+//
+// edgelint:noalloc
 func (t *Timeline) InsertBasic(owner Owner, req Request) (start, finish float64) {
 	start, finish = t.ProbeBasic(req)
 	if req.Dur <= 0 {
@@ -225,6 +229,8 @@ func (t *Timeline) InsertBasic(owner Owner, req Request) (start, finish float64)
 func (t *Timeline) insertSorted(s Slot) {
 	// edgelint:ignore floateq — exact ordering comparison for sorted insert.
 	i := sort.Search(len(t.slots), func(i int) bool { return t.slots[i].Start >= s.Start })
+	// edgelint:coldpath — amortized slot-array growth; capacity
+	// persists across snapshots and transactions.
 	t.slots = append(t.slots, Slot{})
 	copy(t.slots[i+1:], t.slots[i:])
 	t.slots[i] = s
@@ -265,7 +271,10 @@ func (t *Timeline) reindexFrom(pos int) {
 		pos = 0 // first time past one block: build the index in full
 	}
 	for len(t.blkEnd) < nb {
+		// edgelint:coldpath — amortized index growth (one float per
+		// gapBlock slots).
 		t.blkEnd = append(t.blkEnd, 0)
+		// edgelint:coldpath — amortized index growth, as above.
 		t.blkGap = append(t.blkGap, 0)
 	}
 	t.blkEnd = t.blkEnd[:nb]
@@ -326,6 +335,8 @@ type Shifted struct {
 // returned start can be earlier than ProbeBasic's. It returns the
 // insertion position as well (index among current slots; len(slots)
 // means append).
+//
+// edgelint:noalloc
 func (t *Timeline) ProbeOptimal(req Request, slack SlackFunc) (start, finish float64, pos int) {
 	lb := req.lowerBound()
 	if req.Dur <= 0 {
@@ -522,6 +533,8 @@ func (t *Timeline) Snapshot() Snapshot {
 // stale snapshot (one that will never be restored again). The probe
 // transaction journal calls it with the snapshot left over from the
 // previous transaction, making steady-state journaling allocation-free.
+//
+// edgelint:noalloc
 func (t *Timeline) SnapshotInto(old Snapshot) Snapshot {
 	return Snapshot{
 		slots:  append(old.slots[:0], t.slots...),
@@ -532,6 +545,8 @@ func (t *Timeline) SnapshotInto(old Snapshot) Snapshot {
 }
 
 // Restore resets the timeline to a previously captured snapshot.
+//
+// edgelint:noalloc
 func (t *Timeline) Restore(s Snapshot) {
 	t.slots = append(t.slots[:0], s.slots...)
 	t.blkEnd = append(t.blkEnd[:0], s.blkEnd...)

@@ -39,6 +39,13 @@ const (
 	// FactHasClone marks a type that declares a Clone (or clone)
 	// method of signature func() T / func() *T. Value: *CloneMark.
 	FactHasClone = "mark.clone"
+	// FactNoAlloc marks a function whose steady-state paths must not
+	// allocate (edgelint:noalloc on its declaration). Value: *NoAllocMark.
+	FactNoAlloc = "mark.noalloc"
+	// FactColdPath marks a function as a cold path: reachable from
+	// noalloc roots but exempt from the allocation discipline
+	// (edgelint:coldpath on its declaration). Value: *ColdMark.
+	FactColdPath = "mark.coldpath"
 )
 
 // ImmutableMark is the FactImmutable value: where the marker was
@@ -78,6 +85,12 @@ type FoldMark struct{}
 
 // CloneMark is the FactHasClone value.
 type CloneMark struct{}
+
+// NoAllocMark is the FactNoAlloc value.
+type NoAllocMark struct{}
+
+// ColdMark is the FactColdPath value.
+type ColdMark struct{}
 
 // Facts is the driver-wide fact store shared by every unit of one
 // lint run. It is not safe for concurrent use; drivers analyze units
@@ -234,7 +247,12 @@ func exportFuncMarkers(u *Unit, facts *Facts, fd *ast.FuncDecl) {
 		for _, c := range fd.Doc.List {
 			if _, ok := Directive(c.Text, "detfold"); ok {
 				facts.Export(FactFold, obj, &FoldMark{})
-				break
+			}
+			if _, ok := Directive(c.Text, "noalloc"); ok {
+				facts.Export(FactNoAlloc, obj, &NoAllocMark{})
+			}
+			if _, ok := Directive(c.Text, "coldpath"); ok {
+				facts.Export(FactColdPath, obj, &ColdMark{})
 			}
 		}
 	}

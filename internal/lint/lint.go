@@ -132,7 +132,7 @@ func (u *Unit) RunWith(analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error
 			Facts:     facts,
 			diags:     &diags,
 		}
-		if err := a.Run(pass); err != nil {
+		if err := runAnalyzer(a, pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", u.Path, a.Name, err)
 		}
 	}
@@ -151,6 +151,50 @@ func (u *Unit) RunWith(analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error
 		return a.Analyzer < b.Analyzer
 	})
 	return diags, nil
+}
+
+// runAnalyzer invokes a.Run, converting a panic into an error so one
+// analyzer crashing on one unit surfaces as a driver failure for that
+// unit instead of killing the whole process (and with it the
+// diagnostics of every other unit).
+func runAnalyzer(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analyzer panicked: %v", r)
+		}
+	}()
+	return a.Run(pass)
+}
+
+// DirectiveLines maps, per file, the lines covered by an
+// "edgelint:<name>" directive comment, using the same coverage rule as
+// ignore filtering: the directive's own line, the rest of its comment
+// group, and the first line after the group. Analyzers that must honor
+// line-scoped waivers during summarization (before diagnostics exist to
+// filter) — e.g. noalloc's edgelint:coldpath site waivers — consult
+// this instead of filterIgnored.
+func DirectiveLines(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]bool {
+	covered := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			groupEnd := fset.Position(cg.End()).Line
+			for _, c := range cg.List {
+				if _, ok := Directive(c.Text, name); !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := covered[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					covered[pos.Filename] = m
+				}
+				for line := pos.Line; line <= groupEnd+1; line++ {
+					m[line] = true
+				}
+			}
+		}
+	}
+	return covered
 }
 
 // IsFloat reports whether t's underlying type is a floating-point

@@ -214,16 +214,36 @@ func topoUnits(units []*ListedPackage) []*ListedPackage {
 	return order
 }
 
+// Failure records one package unit the loader could not deliver — a
+// go list load error or a type-check failure. Drivers report failures
+// and exit non-zero for them: a package that cannot be analyzed must
+// not read as a clean pass.
+type Failure struct {
+	// Path is the unit's import path (test-variant suffix stripped).
+	Path string
+	// Err describes what went wrong.
+	Err error
+}
+
+func (f Failure) String() string { return f.Path + ": " + f.Err.Error() }
+
 // LoadPackages loads the module packages matched by the go package
 // patterns — including their in-package and external test files as
 // separate analysis units — type-checked against gc export data, the
 // same way `go vet` feeds its analyzers. dir is the working directory
 // for the go command.
-func LoadPackages(dir string, patterns []string) ([]*Unit, error) {
-	args := append([]string{"-deps", "-test", "-export"}, patterns...)
+//
+// Units that fail to load or type-check come back as Failures rather
+// than aborting the run, so the healthy packages are still analyzed;
+// the error return is reserved for whole-run problems (go list itself
+// failing, no such pattern).
+func LoadPackages(dir string, patterns []string) ([]*Unit, []Failure, error) {
+	// -e keeps go list alive on broken packages: they arrive with
+	// p.Error set and become Failures instead of killing the run.
+	args := append([]string{"-e", "-deps", "-test", "-export"}, patterns...)
 	pkgs, err := GoList(dir, args...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	exports := ExportLookup{}
 	byPath := map[string]*ListedPackage{}
@@ -240,9 +260,10 @@ func LoadPackages(dir string, patterns []string) ([]*Unit, error) {
 	// analyzing the augmented variant instead of plain p covers the
 	// union of files exactly once.
 	var units []*ListedPackage
+	var failures []Failure
 	hasAugmented := map[string]bool{}
 	for _, p := range pkgs {
-		if p.ForTest != "" && p.Name == byPath[p.ForTest].Name {
+		if p.ForTest != "" && byPath[p.ForTest] != nil && p.Name == byPath[p.ForTest].Name {
 			hasAugmented[p.ForTest] = true
 		}
 	}
@@ -250,7 +271,10 @@ func LoadPackages(dir string, patterns []string) ([]*Unit, error) {
 		switch {
 		case p.Standard:
 		case p.Error != nil:
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			failures = append(failures, Failure{
+				Path: p.ImportPath,
+				Err:  fmt.Errorf("go list: %s", p.Error.Err),
+			})
 		case strings.HasSuffix(p.ImportPath, ".test"):
 			// Synthesized test-main binary; nothing human-written.
 		case p.ForTest != "":
@@ -274,9 +298,10 @@ func LoadPackages(dir string, patterns []string) ([]*Unit, error) {
 		imp := gcImporter(fset, exports, p.ImportMap, nil)
 		u, err := TypeCheck(fset, path, p.Dir, p.GoFiles, imp)
 		if err != nil {
-			return nil, err
+			failures = append(failures, Failure{Path: path, Err: err})
+			continue
 		}
 		out = append(out, u)
 	}
-	return out, nil
+	return out, failures, nil
 }

@@ -1,0 +1,20 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, noalloc.Analyzer, "a")
+}
+
+// TestNoAllocCrossPackage checks that allocation summaries cross
+// package boundaries: the xc roots reach (or are proven clear of) an
+// allocation two imports down, and the diagnostic re-anchors at the
+// local call site with the full xc -> xb -> xa provenance chain.
+func TestNoAllocCrossPackage(t *testing.T) {
+	linttest.Run(t, noalloc.Analyzer, "xa", "xb", "xc")
+}

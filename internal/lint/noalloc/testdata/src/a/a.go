@@ -1,0 +1,183 @@
+// Package a exercises the noalloc analyzer's construct classification
+// inside one package: each hot* function demonstrates one allocating
+// construct class, the clean functions pin the reuse idioms the
+// analyzer must accept, and the cold* cases exercise both per-function
+// and per-line coldpath waivers.
+package a
+
+import (
+	"fmt"
+	"strconv"
+)
+
+var (
+	sink     []int
+	sinkStr  string
+	sinkMap  = map[int]int{}
+	sinkNode *node
+)
+
+type node struct{ v int }
+
+// edgelint:noalloc
+func hotMake(n int) {
+	sink = make([]int, n) // want "allocates: make"
+}
+
+// edgelint:noalloc
+func hotNew() {
+	_ = new(node) // want "allocates: new"
+}
+
+// edgelint:noalloc
+func hotAppend(xs []int) {
+	sink = append(xs, 1) // want "append without a capacity reservation"
+}
+
+// edgelint:noalloc
+func hotSliceLiteral() {
+	sink = []int{1, 2, 3} // want "non-empty slice literal"
+}
+
+// edgelint:noalloc
+func hotMapLiteral() map[int]int {
+	return map[int]int{} // want "map literal"
+}
+
+// edgelint:noalloc
+func hotMapWrite(k int) {
+	sinkMap[k] = k // want "map write"
+}
+
+// edgelint:noalloc
+func hotAddrLiteral(v int) {
+	sinkNode = &node{v: v} // want "address-taken composite literal"
+}
+
+// edgelint:noalloc
+func hotBoxReturn(v int) interface{} {
+	return v // want "boxes into an interface"
+}
+
+// edgelint:noalloc
+func hotStringConv(b []byte) {
+	sinkStr = string(b) // want "conversion copies the slice"
+}
+
+// edgelint:noalloc
+func hotBytesConv(s string) []byte {
+	return []byte(s) // want "conversion copies the string"
+}
+
+// edgelint:noalloc
+func hotConcat(a, b string) {
+	sinkStr = a + b // want "string concatenation"
+}
+
+// edgelint:noalloc
+func hotClosure(n int) func() int {
+	return func() int { return n } // want "closure captures n by reference"
+}
+
+// edgelint:noalloc
+func hotGo() {
+	go cleanHelper() // want "go statement"
+}
+
+// edgelint:noalloc
+func hotVariadic(a, b int) {
+	variadicCallee(a, b) // want "variadic call to a.variadicCallee"
+}
+
+// edgelint:noalloc
+func hotErrorf(err error) error {
+	return fmt.Errorf("wrap: %w", err) // want "variadic call to fmt.Errorf" "no noalloc summary"
+}
+
+type doer interface{ do() }
+
+// edgelint:noalloc
+func hotDynamic(d doer) {
+	d.do() // want "dynamic call"
+}
+
+// hotIndirect itself is construct-free; the diagnostic points at the
+// allocation inside the local helper, with the call path.
+//
+// edgelint:noalloc
+func hotIndirect(n int) {
+	helperAllocs(n)
+}
+
+func helperAllocs(n int) {
+	sink = make([]int, n) // want "reaches allocation: make.* a.hotIndirect -> a.helperAllocs"
+}
+
+func variadicCallee(xs ...int) {
+	for _, x := range xs {
+		sink[0] += x
+	}
+}
+
+func cleanHelper() {}
+
+// cleanReuse pins the accepted steady-state idioms: truncate-append
+// into an existing backing array, empty slice literals, map reads,
+// spread variadic calls, constant arguments to interface parameters,
+// and calls to proven-clean helpers.
+//
+// edgelint:noalloc
+func cleanReuse(xs []int, vs []int) int {
+	xs = append(xs[:0], vs...)
+	var empty []int
+	_ = empty
+	cleanHelper()
+	variadicCallee(vs...)
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	total += sinkMap[0]
+	return total
+}
+
+// cleanPanicGuard pins the auto-cold panic path: argument expressions
+// of a panic call may allocate freely — a function that is about to
+// unwind the stack is off the steady-state path by definition.
+//
+// edgelint:noalloc
+func cleanPanicGuard(n int) {
+	if n < 0 {
+		panic("bad n: " + strconv.Itoa(n))
+	}
+	sinkMap[0] = n // want "map write"
+}
+
+// coldSetup allocates, but the coldpath mark excuses the whole
+// function and callers treat it as clean.
+//
+// edgelint:coldpath — one-time setup
+func coldSetup(n int) {
+	sink = make([]int, n)
+}
+
+// edgelint:noalloc
+func cleanWithColdCallee(n int) {
+	coldSetup(n)
+}
+
+// cleanWaivedGrowth pins the per-line waiver: a documented amortized
+// growth site inside a noalloc function.
+//
+// edgelint:noalloc
+func cleanWaivedGrowth(x int) {
+	// edgelint:coldpath — amortized growth, capacity persists
+	sink = append(sink, x)
+}
+
+// conflicted claims to be both allocation-free and cold; the analyzer
+// refuses to guess which mark wins.
+//
+// edgelint:noalloc
+// edgelint:coldpath — contradictory
+func conflicted() {} // want "marked both"

@@ -1,0 +1,21 @@
+// Package xa is the bottom of the cross-package chain: it owns the
+// allocation the xc root must reach two packages away.
+package xa
+
+var Sink []int
+
+// Grow appends without a capacity reservation.
+func Grow(x int) {
+	Sink = append(Sink, x)
+}
+
+// Clean is proven allocation-free; its empty summary travels up the
+// import chain.
+func Clean(x int) int { return x + 1 }
+
+// ColdFill allocates, but the coldpath mark makes it clean to callers.
+//
+// edgelint:coldpath — one-time fill
+func ColdFill(n int) {
+	Sink = make([]int, n)
+}

@@ -1,0 +1,17 @@
+// Package xb is the middle of the cross-package chain: construct-free
+// wrappers whose summaries escalate (or prove clean) what package xa
+// does underneath.
+package xb
+
+import "xa"
+
+// Wrap allocates only through xa.Grow.
+func Wrap(x int) {
+	xa.Grow(x)
+}
+
+// CleanWrap stays clean through xa.Clean.
+func CleanWrap(x int) int { return xa.Clean(x) }
+
+// ColdWrap stays clean because its callee is marked cold.
+func ColdWrap(n int) { xa.ColdFill(n) }

@@ -1,0 +1,21 @@
+// Package xc holds the noalloc roots two imports above the allocation:
+// the diagnostic must re-anchor at the local call site and name the
+// full provenance chain down to xa.
+package xc
+
+import "xb"
+
+// edgelint:noalloc
+func Hot(x int) {
+	xb.Wrap(x) // want "reaches allocation: append.*path: xc.Hot -> xb.Wrap -> xa.Grow"
+}
+
+// edgelint:noalloc
+func CleanHot(x int) int {
+	return xb.CleanWrap(x)
+}
+
+// edgelint:noalloc
+func CleanColdHot(n int) {
+	xb.ColdWrap(n)
+}

@@ -54,6 +54,8 @@ func NewRouteCache(capacity int) *RouteCache {
 
 // lookup returns the cached route (or routing error) for the pair and
 // whether it was present.
+//
+// edgelint:noalloc
 func (c *RouteCache) lookup(src, dst NodeID) (Route, error, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -70,6 +72,8 @@ func (c *RouteCache) lookup(src, dst NodeID) (Route, error, bool) {
 
 // store records the route (or routing error) for the pair, evicting
 // the least recently used entry when full.
+//
+// edgelint:coldpath — cache fill, once per (src, dst) pair
 func (c *RouteCache) store(src, dst NodeID, route Route, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

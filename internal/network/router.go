@@ -49,6 +49,9 @@ func (t *Topology) NewRouter(cache *RouteCache) *Router {
 // BFSRoute returns a minimal route (fewest links) from src to dst,
 // consulting the route cache first when one is attached. Semantics are
 // identical to Topology.BFSRoute.
+//
+// edgelint:noalloc — the steady-state path is a cache hit; the miss
+// path (bfs + store) is cold, amortized by the route cache.
 func (r *Router) BFSRoute(src, dst NodeID) (Route, error) {
 	t := r.top
 	t.checkNode(src)
@@ -68,6 +71,12 @@ func (r *Router) BFSRoute(src, dst NodeID) (Route, error) {
 	return route, err
 }
 
+// bfs is the uncached breadth-first search over the Router's reused
+// scratch arrays.
+//
+// edgelint:coldpath — runs once per (src, dst) pair; the LRU route
+// cache serves every later request (static topologies never evict a
+// live working set in practice).
 func (r *Router) bfs(src, dst NodeID) (Route, error) {
 	t := r.top
 	r.epoch++

@@ -29,6 +29,8 @@ type fingerprint struct {
 }
 
 // captureFingerprint deep-copies the rollback-visible state.
+//
+// edgelint:coldpath — rollback oracle, runs only under VerifyRollback
 func (s *state) captureFingerprint() *fingerprint {
 	fp := &fingerprint{
 		tasks:      append([]TaskPlacement(nil), s.tasks...),
@@ -68,6 +70,8 @@ func (s *state) captureFingerprint() *fingerprint {
 // and returns a description of the first difference, or "" when the
 // state matches bit-for-bit. All comparisons are deliberately exact:
 // rollback restores saved values, so even a 1-ulp drift is a bug.
+//
+// edgelint:coldpath — rollback oracle, runs only under VerifyRollback
 func (fp *fingerprint) diff(s *state) string {
 	for i, want := range fp.tasks {
 		if s.tasks[i] != want {

@@ -386,6 +386,38 @@ func TestProbeJournalingIsAllocationFree(t *testing.T) {
 	}
 }
 
+// TestCallbackClosuresAreCached pins the relaxFunc/slackFunc caching:
+// the engine closures are built once per state and parameterized
+// through s.relaxEdgeCost, so the route-search hot path hands out
+// callbacks without allocating a fresh capture per edge. A fork must
+// rebuild its own closures (Clone omits them): a copied closure would
+// capture — and keep mutating — the original state.
+func TestCallbackClosuresAreCached(t *testing.T) {
+	g := dag.Chain(3, 1, 100)
+	net := network.Line(3, network.Uniform(1), network.Uniform(1))
+	s := mkState(t, g, net, Options{})
+	e := g.Edge(0)
+	s.relaxFunc(e) // warm up: build and cache the closures
+	s.slackFunc()
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.relaxFunc(e)
+		s.slackFunc()
+	}); allocs != 0 {
+		t.Fatalf("cached callbacks allocate %v times per probe, want 0", allocs)
+	}
+	// The closure must read the per-call edge cost through the state,
+	// not a stale capture.
+	e2 := g.Edge(1)
+	s.relaxFunc(e2)
+	if s.relaxEdgeCost != e2.Cost {
+		t.Fatalf("relaxEdgeCost %v, want %v", s.relaxEdgeCost, e2.Cost)
+	}
+	f := s.Clone()
+	if f.relaxFn != nil || f.slackFn != nil {
+		t.Fatal("clone inherited the parent's cached closures")
+	}
+}
+
 // TestVerifyRollbackEverySamples pins the sampled oracle's cadence:
 // with VerifyRollbackEvery=3, transactions 0, 3, 6, ... capture a
 // fingerprint and the others must not.

@@ -22,6 +22,8 @@ type journal[V any] struct {
 
 // init sizes the journal for IDs in [0, n). Epochs start at 1 so the
 // zero-valued mark array means "nothing journaled".
+//
+// edgelint:coldpath — one-time journal sizing at newTxn
 func (j *journal[V]) init(n int) {
 	j.mark = make([]uint32, n)
 	j.vals = make([]V, n)
@@ -33,9 +35,13 @@ func (j *journal[V]) init(n int) {
 func (j *journal[V]) has(id int) bool { return j.mark[id] == j.epoch }
 
 // put journals id's prior value. The caller checks has first.
+//
+// edgelint:noalloc
 func (j *journal[V]) put(id int, v V) {
 	j.mark[id] = j.epoch
 	j.vals[id] = v
+	// edgelint:coldpath — amortized growth: ids' capacity persists
+	// across transactions, so steady-state probes append in place.
 	j.ids = append(j.ids, int32(id))
 }
 
@@ -46,14 +52,6 @@ func (j *journal[V]) stale(id int) V { return j.vals[id] }
 
 // size reports how many IDs the open transaction journaled.
 func (j *journal[V]) size() int { return len(j.ids) }
-
-// each calls f for every journaled (id, prior value) in journaling
-// order.
-func (j *journal[V]) each(f func(id int32, v V)) {
-	for _, id := range j.ids {
-		f(id, j.vals[id])
-	}
-}
 
 // reset closes the transaction in O(1): forget the touched IDs and
 // invalidate all marks by bumping the epoch. On the (once per 4 billion

@@ -435,6 +435,19 @@ type state struct {
 
 	predBuf []dag.EdgeID // orderedPreds scratch
 	pktBuf  []float64    // placeEdgePackets scratch
+
+	// relaxFn and slackFn are the cached Dijkstra relaxation and
+	// Lemma-2 slack closures: built once per state on first use (they
+	// capture only s), so route searches and optimal insertions on the
+	// probe hot path do not allocate a fresh closure per call. The
+	// relaxation reads the current edge's cost from relaxEdgeCost,
+	// which relaxFunc sets before handing the closure out. Clone
+	// deliberately omits all three fields — a copied closure would
+	// still capture the ORIGINAL state — so each fork lazily rebuilds
+	// its own.
+	relaxEdgeCost float64
+	relaxFn       network.RelaxFunc
+	slackFn       linksched.SlackFunc
 }
 
 // newState builds the mutable scheduling state for one run.
@@ -754,8 +767,25 @@ func (s *state) findRoute(e dag.Edge, src, dst network.NodeID, base float64) (ne
 // relaxFunc returns the modified-Dijkstra relaxation for edge e: the
 // label after a link is the (start, finish) the edge would get on that
 // link by basic insertion (slots engine) or by a greedy bandwidth
-// estimate (bandwidth engine).
+// estimate (bandwidth engine). The closure is cached on the state and
+// parameterized through s.relaxEdgeCost — building a fresh capture of
+// e here would allocate on every route search of the probe hot path.
+//
+// edgelint:noalloc
 func (s *state) relaxFunc(e dag.Edge) network.RelaxFunc {
+	s.relaxEdgeCost = e.Cost
+	if s.relaxFn == nil {
+		s.relaxFn = s.buildRelaxFn()
+	}
+	return s.relaxFn
+}
+
+// buildRelaxFn constructs the engine-specific relaxation closure, once
+// per state on its first Dijkstra route search (the engine is fixed in
+// Options for the lifetime of the state).
+//
+// edgelint:coldpath — one-time closure construction, cached in relaxFn
+func (s *state) buildRelaxFn() network.RelaxFunc {
 	switch s.opts.Engine {
 	case EngineBandwidth:
 		return func(l network.Link, cur network.Label) network.Label {
@@ -766,7 +796,7 @@ func (s *state) relaxFunc(e dag.Edge) network.RelaxFunc {
 			if cur.Hops > 0 {
 				es += s.opts.HopDelay
 			}
-			start, finish := s.bw[l.ID].EstimateFinish(es, e.Cost, l.Speed)
+			start, finish := s.bw[l.ID].EstimateFinish(es, s.relaxEdgeCost, l.Speed)
 			if finish < cur.Finish {
 				finish = cur.Finish
 			}
@@ -774,7 +804,7 @@ func (s *state) relaxFunc(e dag.Edge) network.RelaxFunc {
 		}
 	default:
 		return func(l network.Link, cur network.Label) network.Label {
-			req := linksched.Request{ES: cur.Start, PF: cur.Finish, Dur: e.Cost / l.Speed}
+			req := linksched.Request{ES: cur.Start, PF: cur.Finish, Dur: s.relaxEdgeCost / l.Speed}
 			if s.opts.Switching == StoreAndForward {
 				req.ES = cur.Finish
 			}
@@ -819,10 +849,25 @@ func (s *state) placeEdgeSlots(es *EdgeSchedule, e dag.Edge, base float64) {
 	}
 }
 
-// slackFunc computes the deferrable time (Lemma 2) of an already
-// scheduled slot: bounded by the owner edge's placement on its next
-// route link, zero on its last link.
+// slackFunc returns the deferrable-time callback (Lemma 2) for
+// already scheduled slots, cached on the state: optimal insertion
+// calls it once per placed leg, and a fresh closure per call would
+// allocate on the probe hot path.
+//
+// edgelint:noalloc
 func (s *state) slackFunc() linksched.SlackFunc {
+	if s.slackFn == nil {
+		s.slackFn = s.buildSlackFn()
+	}
+	return s.slackFn
+}
+
+// buildSlackFn constructs the slack closure: the deferrable time of an
+// already scheduled slot is bounded by the owner edge's placement on
+// its next route link, zero on its last link.
+//
+// edgelint:coldpath — one-time closure construction, cached in slackFn
+func (s *state) buildSlackFn() linksched.SlackFunc {
 	return func(o linksched.Owner) float64 {
 		esch := s.edges[o.Edge]
 		if esch == nil || o.Leg >= len(esch.Placements)-1 {

@@ -34,19 +34,14 @@ type txn struct {
 // begin opens a transaction. Transactions do not nest. The journal
 // arrays are owned by the state and reused across transactions, so a
 // probe transaction allocates nothing in steady state.
+//
+// edgelint:noalloc
 func (s *state) begin() {
 	if s.tx != nil {
 		panic("sched: nested transaction")
 	}
 	if s.txFree == nil {
-		tx := &txn{}
-		tx.taskOld.init(len(s.tasks))
-		tx.procOld.init(len(s.procFinish))
-		tx.edgeOld.init(len(s.edges))
-		tx.tlSnaps.init(len(s.tl))
-		tx.bwSnaps.init(len(s.bw))
-		tx.ptlSnaps.init(len(s.ptl))
-		s.txFree = tx
+		s.txFree = s.newTxn()
 	}
 	s.tx = s.txFree
 	s.tx.dupsLen = len(s.dups)
@@ -57,30 +52,51 @@ func (s *state) begin() {
 	s.txSeq++
 }
 
+// newTxn builds the state's reusable transaction journal, sized to the
+// state's entity counts. Runs once per state (per fork): every later
+// begin reuses the journal via s.txFree.
+//
+// edgelint:coldpath — one-time journal construction, reused via txFree
+func (s *state) newTxn() *txn {
+	tx := &txn{}
+	tx.taskOld.init(len(s.tasks))
+	tx.procOld.init(len(s.procFinish))
+	tx.edgeOld.init(len(s.edges))
+	tx.tlSnaps.init(len(s.tl))
+	tx.bwSnaps.init(len(s.bw))
+	tx.ptlSnaps.init(len(s.ptl))
+	return tx
+}
+
 // rollback restores everything the transaction touched and closes it.
+// The journals are walked with plain loops rather than each callbacks:
+// a closure capturing s would be a fresh heap allocation on every
+// rollback, and rollback runs once per EFT probe.
+//
+// edgelint:noalloc
 func (s *state) rollback() {
 	tx := s.tx
 	if tx == nil {
 		return
 	}
-	tx.taskOld.each(func(id int32, old TaskPlacement) {
-		s.tasks[id] = old
-	})
-	tx.procOld.each(func(id int32, old float64) {
-		s.procFinish[id] = old
-	})
-	tx.edgeOld.each(func(id int32, old *EdgeSchedule) {
-		s.edges[id] = old
-	})
-	tx.tlSnaps.each(func(id int32, snap linksched.Snapshot) {
-		s.tl[id].Restore(snap)
-	})
-	tx.bwSnaps.each(func(id int32, snap linksched.BWSnapshot) {
-		s.bw[id].Restore(snap)
-	})
-	tx.ptlSnaps.each(func(id int32, snap linksched.Snapshot) {
-		s.ptl[id].Restore(snap)
-	})
+	for _, id := range tx.taskOld.ids {
+		s.tasks[id] = tx.taskOld.vals[id]
+	}
+	for _, id := range tx.procOld.ids {
+		s.procFinish[id] = tx.procOld.vals[id]
+	}
+	for _, id := range tx.edgeOld.ids {
+		s.edges[id] = tx.edgeOld.vals[id]
+	}
+	for _, id := range tx.tlSnaps.ids {
+		s.tl[id].Restore(tx.tlSnaps.vals[id])
+	}
+	for _, id := range tx.bwSnaps.ids {
+		s.bw[id].Restore(tx.bwSnaps.vals[id])
+	}
+	for _, id := range tx.ptlSnaps.ids {
+		s.ptl[id].Restore(tx.ptlSnaps.vals[id])
+	}
 	if len(s.dups) > tx.dupsLen {
 		s.dups = s.dups[:tx.dupsLen]
 	}
@@ -101,6 +117,8 @@ func (s *state) rollback() {
 }
 
 // touchTask journals a task placement before modification.
+//
+// edgelint:noalloc
 func (s *state) touchTask(id dag.TaskID) {
 	if s.tx == nil {
 		return
@@ -111,6 +129,8 @@ func (s *state) touchTask(id dag.TaskID) {
 }
 
 // touchProc journals a processor clock before modification.
+//
+// edgelint:noalloc
 func (s *state) touchProc(id network.NodeID) {
 	if s.tx == nil {
 		return
@@ -122,6 +142,8 @@ func (s *state) touchProc(id network.NodeID) {
 
 // touchEdge journals an edge schedule pointer before replacement or
 // mutation.
+//
+// edgelint:noalloc
 func (s *state) touchEdge(id dag.EdgeID) {
 	if s.tx == nil {
 		return
@@ -157,6 +179,8 @@ func (s *state) cowEdge(id dag.EdgeID) *EdgeSchedule {
 // touchTimeline journals a slot timeline before modification. The
 // snapshot reuses the buffers left in the journal's value slot by an
 // earlier transaction, so steady-state journaling is allocation-free.
+//
+// edgelint:noalloc
 func (s *state) touchTimeline(id network.LinkID) {
 	if s.tx == nil {
 		return
@@ -168,10 +192,14 @@ func (s *state) touchTimeline(id network.LinkID) {
 
 // touchDup is a no-op marker: duplicates are append-only and rolled
 // back by truncation to the length recorded at begin.
+//
+// edgelint:noalloc
 func (s *state) touchDup() {}
 
 // touchProcTimeline journals a processor timeline (task insertion
 // policy) before modification.
+//
+// edgelint:noalloc
 func (s *state) touchProcTimeline(id network.NodeID) {
 	if s.tx == nil {
 		return
@@ -185,6 +213,8 @@ func (s *state) touchProcTimeline(id network.NodeID) {
 // The snapshot carries the chunked slabs and their block summaries
 // wholesale (buffer-reused via the stale snapshot), so a rollback
 // restores the availability index without any reindexing.
+//
+// edgelint:noalloc
 func (s *state) touchBWTimeline(id network.LinkID) {
 	if s.tx == nil {
 		return
