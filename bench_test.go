@@ -171,6 +171,36 @@ func BenchmarkScheduleBASinnenParallel(b *testing.B) {
 	benchAlgorithm(b, a)
 }
 
+// BenchmarkScheduleBASinnenManyProcs times the EFT baseline on a
+// 10^4-processor star with U(1,500) heterogeneous speeds, fast links
+// and a small DAG: the per-task lower-bound sweep over all 10^4
+// processors, the forked replica clones of the 2*10^4-link timeline
+// columns, and the probes of the surviving top-speed candidates
+// dominate instead of long timelines. Parallel probes are pinned to 8
+// workers so the fork and pool costs are exercised identically on
+// every runner.
+func BenchmarkScheduleBASinnenManyProcs(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	net := network.Star(10000, network.UniformRange(r, 1, 500), network.Uniform(10000))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    48,
+		TaskCost: dag.CostDist{Lo: 500, Hi: 1000},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 10},
+	})
+	a := sched.NewBASinnen()
+	a.Opts.ProbeWorkers = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := a.Schedule(g, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Makespan <= 0 {
+			b.Fatal("empty makespan")
+		}
+	}
+}
+
 // BenchmarkScheduleOIHSA times OIHSA on the same instance.
 func BenchmarkScheduleOIHSA(b *testing.B) { benchAlgorithm(b, sched.NewOIHSA()) }
 

@@ -142,12 +142,19 @@ func main() {
 // 10^4-scale bandwidth sweeps, whose tens of milliseconds per op make
 // them regression-stable and which are exactly where a lost index or a
 // reintroduced linear rescan in the BBSA ledger shows up first.
-// Single-digit-microsecond micro-benchmarks stay out of the ns/op gate
-// — too noisy to time on a shared machine — but the 10^4-scale probe
-// kernels are in for their allocs/op, which is deterministic: their
-// baselines are zero and the gate pins them there (the noalloc
-// analyzer's claim, re-checked at runtime).
-const defaultGate = "BenchmarkScheduleBA,BenchmarkScheduleBASinnen,BenchmarkScheduleBASinnenLarge,BenchmarkScheduleOIHSA,BenchmarkScheduleBBSA," +
+// The 10^4-processor EFT benchmark guards the wide-machine paths the
+// columnar state refactor optimizes: per-fork column clones, the
+// pooled replica reuse and the lower-bound sweep. Single-digit-
+// microsecond micro-benchmarks stay out of the ns/op gate — too noisy
+// to time on a shared machine — but the 10^4-scale probe kernels are
+// in for their allocs/op, which is deterministic: their baselines are
+// zero and the gate pins them there (the noalloc analyzer's claim,
+// re-checked at runtime). ScheduleBASinnenLarge additionally carries
+// an explicit @allocs entry so its allocation count stays pinned even
+// if the wall-time entry is ever relaxed: its allocs/op is the
+// flat-state series' headline number.
+const defaultGate = "BenchmarkScheduleBA,BenchmarkScheduleBASinnen,BenchmarkScheduleBASinnenLarge,BenchmarkScheduleBASinnenLarge@allocs," +
+	"BenchmarkScheduleBASinnenManyProcs,BenchmarkScheduleOIHSA,BenchmarkScheduleBBSA," +
 	"BenchmarkBandwidthAllocForward/jobs=10000,BenchmarkBandwidthEstimateFinish/segs=10000,BenchmarkTimelineProbeBasic/slots=10000@allocs"
 
 // runBench shells out to go test -bench and returns its stdout.

@@ -706,5 +706,33 @@ func copySegs(dst, src []seg) []seg {
 	return dst
 }
 
+// CopyFrom makes t an independent deep copy of src, reusing t's slab
+// and use buffers when they have capacity (see copyChunks). The warm
+// path — a pooled replica re-cloned from a same-topology state — does
+// not allocate.
+func (t *BWTimeline) CopyFrom(src *BWTimeline) {
+	t.chunks = copyChunks(t.chunks, src.chunks)
+	t.nsegs = src.nsegs
+	t.maxAbs = src.maxAbs
+}
+
+// CopyBWTimelines deep-copies the bandwidth ledgers of src into dst,
+// growing dst as needed and reusing the slab/segment/use buffers its
+// elements already hold. A nil src yields a nil dst, preserving the
+// parent's column shape exactly.
+func CopyBWTimelines(dst, src []BWTimeline) []BWTimeline {
+	if src == nil {
+		return nil
+	}
+	if cap(dst) < len(src) {
+		dst = make([]BWTimeline, len(src))
+	}
+	dst = dst[:len(src)]
+	for i := range src {
+		dst[i].CopyFrom(&src[i])
+	}
+	return dst
+}
+
 // NumSegments reports the number of segments (for tests/statistics).
 func (t *BWTimeline) NumSegments() int { return t.nsegs }

@@ -566,6 +566,78 @@ func (t *Timeline) Clone() *Timeline {
 	}
 }
 
+// CopyFrom makes t an independent deep copy of src, reusing t's
+// backing buffers when they have capacity. The warm path — a pooled
+// replica re-cloned from a same-topology state — is three copy calls
+// and no allocation.
+func (t *Timeline) CopyFrom(src *Timeline) {
+	t.slots = append(t.slots[:0], src.slots...)
+	t.blkEnd = append(t.blkEnd[:0], src.blkEnd...)
+	t.blkGap = append(t.blkGap[:0], src.blkGap...)
+	t.maxAbs = src.maxAbs
+}
+
+// carve copies src into dst if dst has the capacity, otherwise into a
+// window carved off the front of arena. It returns the filled slice
+// and the remaining arena. Carved windows are full-capacity subslices,
+// so a later append on one timeline reallocates privately instead of
+// growing into its arena neighbor.
+func carve[T any](dst, src, arena []T) (out, rest []T) {
+	n := len(src)
+	if cap(dst) >= n {
+		out, rest = dst[:n], arena
+	} else {
+		out, rest = arena[:n:n], arena[n:]
+	}
+	copy(out, src)
+	return out, rest
+}
+
+// CopyTimelines deep-copies the timelines of src into dst, growing dst
+// as needed and reusing every element buffer that already has
+// capacity. Element buffers that must grow are carved out of one
+// shared arena allocation per column rather than allocated one
+// timeline at a time, so the cold path of a scheduler-state fork costs
+// O(columns) allocations instead of O(links). A nil src yields a nil
+// dst, preserving the parent's column shape exactly.
+func CopyTimelines(dst, src []Timeline) []Timeline {
+	if src == nil {
+		return nil
+	}
+	if cap(dst) < len(src) {
+		dst = make([]Timeline, len(src))
+	}
+	dst = dst[:len(src)]
+	needSlots, needIdx := 0, 0
+	for i := range src {
+		if cap(dst[i].slots) < len(src[i].slots) {
+			needSlots += len(src[i].slots)
+		}
+		if cap(dst[i].blkEnd) < len(src[i].blkEnd) {
+			needIdx += len(src[i].blkEnd)
+		}
+		if cap(dst[i].blkGap) < len(src[i].blkGap) {
+			needIdx += len(src[i].blkGap)
+		}
+	}
+	var slotArena []Slot
+	var idxArena []float64
+	if needSlots > 0 {
+		slotArena = make([]Slot, needSlots)
+	}
+	if needIdx > 0 {
+		idxArena = make([]float64, needIdx)
+	}
+	for i := range src {
+		s, d := &src[i], &dst[i]
+		d.slots, slotArena = carve(d.slots, s.slots, slotArena)
+		d.blkEnd, idxArena = carve(d.blkEnd, s.blkEnd, idxArena)
+		d.blkGap, idxArena = carve(d.blkGap, s.blkGap, idxArena)
+		d.maxAbs = s.maxAbs
+	}
+	return dst
+}
+
 // LastEnd returns the end of the last occupied slot, or 0 for an empty
 // timeline — the earliest time at which the link is free forever.
 func (t *Timeline) LastEnd() float64 {

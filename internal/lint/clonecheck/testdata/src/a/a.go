@@ -204,6 +204,39 @@ func (b *BWChunkedLeaky) Clone() *BWChunkedLeaky {
 	}
 }
 
+// SpanArena mirrors the columnar edge store: fixed-width rows
+// reference variable-length payloads by packed (offset, length) spans
+// into a shared arena slice. The arena is state like any other
+// reference field — spans are rewritten in place on copy-on-write, so
+// a clone sharing the arena reads the parent's next rewrite.
+type SpanArena struct {
+	meta  []int64   // fixed-width rows holding packed spans
+	arena []float64 // variable-length payloads, addressed by span
+}
+
+func (s *SpanArena) Clone() *SpanArena {
+	return &SpanArena{
+		meta:  append([]int64(nil), s.meta...),
+		arena: append([]float64(nil), s.arena...),
+	}
+}
+
+// SpanArenaLeaky deep-copies the row column but shares the payload
+// arena — every span reads back fine until either copy's next
+// copy-on-write append lands in the other's tail. The exact bug the
+// flat-state refactor must never reintroduce.
+type SpanArenaLeaky struct {
+	meta  []int64
+	arena []float64
+}
+
+func (s *SpanArenaLeaky) Clone() *SpanArenaLeaky {
+	return &SpanArenaLeaky{
+		meta:  append([]int64(nil), s.meta...),
+		arena: s.arena, // want "SpanArenaLeaky.Clone shallow-copies reference field arena"
+	}
+}
+
 // Hushed shares deliberately and suppresses both analyzers with one
 // comma-separated ignore directive (no want: the finding must be
 // filtered before expectation checking).

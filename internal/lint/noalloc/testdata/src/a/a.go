@@ -175,6 +175,49 @@ func cleanWaivedGrowth(x int) {
 	sink = append(sink, x)
 }
 
+// spanStore mirrors the columnar scheduler state: fixed-width rows
+// hold packed (offset, length) spans into a payload arena. The hot
+// mutation paths rewrite rows and span-addressed entries in place;
+// only arena growth appends, each under a documented waiver.
+type spanStore struct {
+	meta  []int64
+	arena []float64
+}
+
+var store spanStore
+
+// cleanSpanWrite pins the steady-state columnar idiom: indexing
+// through a span into an existing arena allocates nothing.
+//
+// edgelint:noalloc
+func cleanSpanWrite(id, off, n int, v float64) {
+	store.meta[id] = int64(off)<<32 | int64(n)
+	for i := 0; i < n; i++ {
+		store.arena[off+i] = v
+	}
+}
+
+// cleanSpanCOW pins the copy-on-write idiom: relocating a span to the
+// arena tail appends under a per-line amortized-growth waiver, then
+// rewrites the row in place.
+//
+// edgelint:noalloc
+func cleanSpanCOW(id int) {
+	off := int(store.meta[id] >> 32)
+	n := int(store.meta[id] & 0xffffffff)
+	// edgelint:coldpath — amortized arena growth, capacity persists
+	store.arena = append(store.arena, store.arena[off:off+n]...)
+	store.meta[id] = int64(len(store.arena)-n)<<32 | int64(n)
+}
+
+// hotSpanAppend is the unwaived variant of the same growth site: an
+// arena append on the hot path without a reservation or waiver.
+//
+// edgelint:noalloc
+func hotSpanAppend(v float64) {
+	store.arena = append(store.arena, v) // want "append without a capacity reservation"
+}
+
 // conflicted claims to be both allocation-free and cold; the analyzer
 // refuses to guess which mark wins.
 //

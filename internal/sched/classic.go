@@ -161,7 +161,7 @@ func ScheduleAssignment(g *dag.Graph, net *network.Topology, assign []network.No
 		Graph:     g,
 		Net:       net,
 		Tasks:     s.tasks,
-		Edges:     s.edges,
+		Edges:     s.edges.materialize(),
 		Makespan:  makespan(s.tasks),
 		HopDelay:  opts.HopDelay,
 		Switching: opts.Switching,

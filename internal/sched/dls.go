@@ -112,7 +112,7 @@ func (d *DLS) Schedule(g *dag.Graph, net *network.Topology) (*Schedule, error) {
 		Graph:     g,
 		Net:       net,
 		Tasks:     s.tasks,
-		Edges:     s.edges,
+		Edges:     s.edges.materialize(),
 		Makespan:  makespan(s.tasks),
 		HopDelay:  d.Opts.HopDelay,
 		Switching: d.Opts.Switching,
@@ -228,7 +228,7 @@ func (c *CPOP) Schedule(g *dag.Graph, net *network.Topology) (*Schedule, error) 
 		Graph:     g,
 		Net:       net,
 		Tasks:     s.tasks,
-		Edges:     s.edges,
+		Edges:     s.edges.materialize(),
 		Makespan:  makespan(s.tasks),
 		HopDelay:  c.Opts.HopDelay,
 		Switching: c.Opts.Switching,

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"repro/internal/dag"
+	"repro/internal/linksched"
+	"repro/internal/network"
+)
+
+// The columnar edge store. Edge schedules used to live as one heap
+// *EdgeSchedule per edge with nested Route/Placements/Chunks slices —
+// forking a state meant O(|E|·route length) small allocations and the
+// same again for the rollback fingerprint. Here the records are
+// struct-of-arrays: one fixed-width edgeMeta per edge ID in a flat
+// column, with the variable-length route, per-leg placement and
+// bandwidth-chunk data appended to shared arena slices and addressed
+// by (offset, length) spans. Cloning the store is four bulk copies;
+// rolling back a probe transaction is restoring the journaled edgeMeta
+// values and truncating the arenas to their begin-time watermarks
+// (committed data is never appended inside a transaction's tail, so
+// truncation can only discard transaction-private entries).
+//
+// Offsets are int32: the committed arenas hold at most one record per
+// scheduled edge (re-placements overwrite the meta and probe tails are
+// truncated), so even 10^7-edge graphs with long routes stay far from
+// the 2^31 boundary.
+
+// span addresses a run of entries in one of the store's arenas.
+type span struct {
+	off int32
+	n   int32
+}
+
+// edgeMeta is the fixed-width column record of one edge's schedule.
+// The zero value means "no schedule" (intra-processor communication or
+// a duplicated source). While an edge is being placed, scheduled stays
+// false so slack/shift bookkeeping ignores the half-built record — the
+// same invisibility the old nil pointer provided.
+type edgeMeta struct {
+	scheduled bool
+	srcProc   network.NodeID
+	dstProc   network.NodeID
+	arrival   float64
+	base      float64
+	route     span // into edgeStore.routes
+	legs      span // into edgeStore.legs; n == route.n
+}
+
+// legMeta is the fixed-width record of one route-leg placement.
+type legMeta struct {
+	link   network.LinkID
+	start  float64
+	finish float64
+	chunks span // into edgeStore.chunks; empty for the slots engine
+}
+
+// arenaMarks are the arena lengths at transaction begin; rollback
+// truncates back to them.
+type arenaMarks struct {
+	routes int
+	legs   int
+	chunks int
+}
+
+// edgeStore holds every edge schedule of one scheduler state.
+type edgeStore struct {
+	meta   []edgeMeta
+	routes []network.LinkID
+	legs   []legMeta
+	chunks []linksched.Chunk
+}
+
+// init sizes the store for edge IDs in [0, n) and empties the arenas,
+// reusing backing arrays a pooled state already owns.
+func (st *edgeStore) init(n int) {
+	if cap(st.meta) < n {
+		st.meta = make([]edgeMeta, n)
+	} else {
+		st.meta = st.meta[:n]
+		clear(st.meta)
+	}
+	st.routes = st.routes[:0]
+	st.legs = st.legs[:0]
+	st.chunks = st.chunks[:0]
+}
+
+// scheduled reports whether edge id has a completed schedule record.
+func (st *edgeStore) scheduled(id dag.EdgeID) bool { return st.meta[id].scheduled }
+
+// clear removes edge id's schedule record. The caller journals the
+// prior meta (touchEdge) first; arena entries the record addressed
+// become unreachable garbage, bounded by one generation per edge
+// because committed placements happen once per edge.
+func (st *edgeStore) clear(id dag.EdgeID) { st.meta[id] = edgeMeta{} }
+
+// place starts a fresh schedule record for edge id: the route is
+// copied into the route arena and one zero-valued leg per route link
+// is reserved in the legs arena. The record stays invisible
+// (scheduled == false) until finish seals it.
+func (st *edgeStore) place(id dag.EdgeID, src, dst network.NodeID, route network.Route, base float64) {
+	ro := int32(len(st.routes))
+	// edgelint:coldpath — amortized arena growth; capacity persists
+	// across transactions and pooled reuse.
+	st.routes = append(st.routes, route...)
+	lo := int32(len(st.legs))
+	for range route {
+		// edgelint:coldpath — amortized arena growth, as above.
+		st.legs = append(st.legs, legMeta{})
+	}
+	n := int32(len(route))
+	st.meta[id] = edgeMeta{
+		srcProc: src,
+		dstProc: dst,
+		base:    base,
+		route:   span{off: ro, n: n},
+		legs:    span{off: lo, n: n},
+	}
+}
+
+// finish seals edge id's record: the arrival (the finish on the last
+// route leg, or base for an empty route) is recorded and the edge
+// becomes visible to slack/shift bookkeeping. Returns the arrival.
+func (st *edgeStore) finish(id dag.EdgeID, base float64) float64 {
+	m := &st.meta[id]
+	m.arrival = base
+	if m.legs.n > 0 {
+		m.arrival = st.legs[m.legs.off+m.legs.n-1].finish
+	}
+	m.scheduled = true
+	return m.arrival
+}
+
+// routeAt returns the link of route position leg of edge id.
+func (st *edgeStore) routeAt(id dag.EdgeID, leg int) network.LinkID {
+	return st.routes[int(st.meta[id].route.off)+leg]
+}
+
+// legCount returns the number of route legs reserved for edge id.
+func (st *edgeStore) legCount(id dag.EdgeID) int { return int(st.meta[id].legs.n) }
+
+// setLeg writes the placement record of route position leg of edge id.
+// The write position is re-derived from the meta column on every call:
+// a copy-on-write of another edge may have grown the legs arena (and
+// reallocated it) since the caller last looked.
+func (st *edgeStore) setLeg(id dag.EdgeID, leg int, lm legMeta) {
+	st.legs[int(st.meta[id].legs.off)+leg] = lm
+}
+
+// legsView returns edge id's legs as a mutable window into the arena,
+// valid only until the next arena append.
+func (st *edgeStore) legsView(id dag.EdgeID) []legMeta {
+	m := st.meta[id].legs
+	return st.legs[m.off : m.off+m.n]
+}
+
+// appendChunks copies cs into the chunk arena and returns its span.
+func (st *edgeStore) appendChunks(cs []linksched.Chunk) span {
+	off := int32(len(st.chunks))
+	// edgelint:coldpath — amortized arena growth; capacity persists
+	// across transactions and pooled reuse.
+	st.chunks = append(st.chunks, cs...)
+	return span{off: off, n: int32(len(cs))}
+}
+
+// marks returns the current arena watermarks, recorded at transaction
+// begin.
+func (st *edgeStore) marks() arenaMarks {
+	return arenaMarks{routes: len(st.routes), legs: len(st.legs), chunks: len(st.chunks)}
+}
+
+// truncate discards every arena entry appended past the watermarks —
+// the transaction-private tail.
+func (st *edgeStore) truncate(m arenaMarks) {
+	st.routes = st.routes[:m.routes]
+	st.legs = st.legs[:m.legs]
+	st.chunks = st.chunks[:m.chunks]
+}
+
+// copyFrom makes st an independent deep copy of src: one bulk copy per
+// column, reusing st's backing arrays when they have capacity. Shapes
+// are preserved exactly (see copyColumn) for the fingerprint-shape
+// contract.
+func (st *edgeStore) copyFrom(src *edgeStore) {
+	st.meta = copyColumn(st.meta, src.meta)
+	st.routes = copyColumn(st.routes, src.routes)
+	st.legs = copyColumn(st.legs, src.legs)
+	st.chunks = copyColumn(st.chunks, src.chunks)
+}
+
+// materialize builds the public []*EdgeSchedule view of the store, nil
+// entries for unscheduled edges. All backing storage is bulk-allocated
+// — one slice per column — and handed out as full-capacity subslices,
+// so the view costs O(1) allocations and callers appending to a
+// Route/Placements/Chunks slice reallocate privately.
+func (st *edgeStore) materialize() []*EdgeSchedule {
+	out := make([]*EdgeSchedule, len(st.meta))
+	nSched, nLegs, nRoute, nChunks := 0, 0, 0, 0
+	for i := range st.meta {
+		m := &st.meta[i]
+		if !m.scheduled {
+			continue
+		}
+		nSched++
+		nRoute += int(m.route.n)
+		nLegs += int(m.legs.n)
+		for _, l := range st.legsView(dag.EdgeID(i)) {
+			nChunks += int(l.chunks.n)
+		}
+	}
+	if nSched == 0 {
+		return out
+	}
+	back := make([]EdgeSchedule, 0, nSched)
+	routes := make([]network.LinkID, 0, nRoute)
+	plcs := make([]EdgePlacement, 0, nLegs)
+	chunks := make([]linksched.Chunk, 0, nChunks)
+	for i := range st.meta {
+		m := &st.meta[i]
+		if !m.scheduled {
+			continue
+		}
+		id := dag.EdgeID(i)
+		r0 := len(routes)
+		routes = append(routes, st.routes[m.route.off:m.route.off+m.route.n]...)
+		p0 := len(plcs)
+		for _, l := range st.legsView(id) {
+			ep := EdgePlacement{Link: l.link, Start: l.start, Finish: l.finish}
+			if l.chunks.n > 0 {
+				c0 := len(chunks)
+				chunks = append(chunks, st.chunks[l.chunks.off:l.chunks.off+l.chunks.n]...)
+				ep.Chunks = chunks[c0:len(chunks):len(chunks)]
+			}
+			plcs = append(plcs, ep)
+		}
+		back = append(back, EdgeSchedule{
+			Edge:       id,
+			SrcProc:    m.srcProc,
+			DstProc:    m.dstProc,
+			Route:      network.Route(routes[r0:len(routes):len(routes)]),
+			Placements: plcs[p0:len(plcs):len(plcs)],
+			Arrival:    m.arrival,
+			Base:       m.base,
+		})
+		out[i] = &back[len(back)-1]
+	}
+	return out
+}
+
+// copyColumn copies src into dst's backing array, reusing capacity and
+// preserving src's shape exactly: a nil column stays nil and an empty
+// non-nil column stays non-nil, so a clone fingerprints with the same
+// shape as its parent even on degenerate topologies.
+func copyColumn[T any](dst, src []T) []T {
+	if src == nil {
+		return nil
+	}
+	if dst == nil && len(src) == 0 {
+		return make([]T, 0)
+	}
+	return append(dst[:0], src...)
+}

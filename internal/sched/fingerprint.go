@@ -4,25 +4,33 @@ import (
 	"fmt"
 
 	"repro/internal/linksched"
+	"repro/internal/network"
 )
 
 // The rollback oracle. A probe transaction is only correct if rollback
 // restores the state bit-for-bit: a single store that is not journaled
-// by the matching touch*/cowEdge call corrupts the committed schedule
-// silently — the transactional sibling of a forgotten Clone copy. With
-// Options.VerifyRollback set, begin captures a deep fingerprint of
-// every journaled piece of state and rollback re-checks it, panicking
-// with the offending field and ID instead of letting the corruption
-// propagate into an unreproducible wrong schedule. The txnjournal
-// static analyzer enforces the same invariant at build time; the
-// oracle is the runtime ground truth it mirrors.
+// by the matching touch*/cowEdgeLegs call corrupts the committed
+// schedule silently — the transactional sibling of a forgotten Clone
+// copy. With Options.VerifyRollback set, begin captures a deep
+// fingerprint of every journaled piece of state and rollback re-checks
+// it, panicking with the offending field and ID instead of letting the
+// corruption propagate into an unreproducible wrong schedule. The
+// txnjournal static analyzer enforces the same invariant at build
+// time; the oracle is the runtime ground truth it mirrors.
 
-// fingerprint is a deep copy of everything rollback must restore.
+// fingerprint is a deep copy of everything rollback must restore. The
+// edge store is captured column by column: comparing the raw meta and
+// arena columns (including the arena lengths, which the rollback
+// truncation must rewind exactly) catches both value corruption and
+// span aliasing that a per-edge logical comparison could miss.
 type fingerprint struct {
 	tasks      []TaskPlacement
 	procFinish []float64
 	dups       []TaskPlacement
-	edges      []*EdgeSchedule
+	meta       []edgeMeta
+	routes     []network.LinkID
+	legs       []legMeta
+	chunks     []linksched.Chunk
 	tl         [][]linksched.Slot
 	bw         [][]linksched.SegmentInfo
 	ptl        [][]linksched.Slot
@@ -36,31 +44,27 @@ func (s *state) captureFingerprint() *fingerprint {
 		tasks:      append([]TaskPlacement(nil), s.tasks...),
 		procFinish: append([]float64(nil), s.procFinish...),
 		dups:       append([]TaskPlacement(nil), s.dups...),
-		edges:      make([]*EdgeSchedule, len(s.edges)),
-	}
-	for i, es := range s.edges {
-		if es != nil {
-			fp.edges[i] = es.clone()
-		}
+		meta:       append([]edgeMeta(nil), s.edges.meta...),
+		routes:     append([]network.LinkID(nil), s.edges.routes...),
+		legs:       append([]legMeta(nil), s.edges.legs...),
+		chunks:     append([]linksched.Chunk(nil), s.edges.chunks...),
 	}
 	if s.tl != nil {
 		fp.tl = make([][]linksched.Slot, len(s.tl))
-		for i, tl := range s.tl {
-			fp.tl[i] = append([]linksched.Slot(nil), tl.Slots()...)
+		for i := range s.tl {
+			fp.tl[i] = append([]linksched.Slot(nil), s.tl[i].Slots()...)
 		}
 	}
 	if s.bw != nil {
 		fp.bw = make([][]linksched.SegmentInfo, len(s.bw))
-		for i, bw := range s.bw {
-			fp.bw[i] = bw.Segments()
+		for i := range s.bw {
+			fp.bw[i] = s.bw[i].Segments()
 		}
 	}
 	if s.ptl != nil {
 		fp.ptl = make([][]linksched.Slot, len(s.ptl))
-		for i, tl := range s.ptl {
-			if tl != nil {
-				fp.ptl[i] = append([]linksched.Slot(nil), tl.Slots()...)
-			}
+		for i := range s.ptl {
+			fp.ptl[i] = append([]linksched.Slot(nil), s.ptl[i].Slots()...)
 		}
 	}
 	return fp
@@ -92,10 +96,8 @@ func (fp *fingerprint) diff(s *state) string {
 			return fmt.Sprintf("duplicate %d: %+v -> %+v", i, want, s.dups[i])
 		}
 	}
-	for i, want := range fp.edges {
-		if d := diffEdge(i, want, s.edges[i]); d != "" {
-			return d
-		}
+	if d := fp.diffEdgeStore(&s.edges); d != "" {
+		return d
 	}
 	for i, want := range fp.tl {
 		if d := diffSlots("link", i, want, s.tl[i].Slots()); d != "" {
@@ -108,9 +110,6 @@ func (fp *fingerprint) diff(s *state) string {
 		}
 	}
 	for i, want := range fp.ptl {
-		if s.ptl[i] == nil {
-			continue
-		}
 		if d := diffSlots("processor timeline", i, want, s.ptl[i].Slots()); d != "" {
 			return d
 		}
@@ -118,51 +117,38 @@ func (fp *fingerprint) diff(s *state) string {
 	return ""
 }
 
-// diffEdge compares one edge schedule deeply (route, per-leg
-// placements, bandwidth chunks).
-func diffEdge(id int, want, got *EdgeSchedule) string {
-	switch {
-	case want == nil && got == nil:
-		return ""
-	case want == nil:
-		return fmt.Sprintf("edge %d: schedule appeared (%+v)", id, got)
-	case got == nil:
-		return fmt.Sprintf("edge %d: schedule vanished (was %+v)", id, want)
-	}
-	if got.Edge != want.Edge || got.SrcProc != want.SrcProc || got.DstProc != want.DstProc {
-		return fmt.Sprintf("edge %d endpoints: %d %d->%d became %d %d->%d",
-			id, want.Edge, want.SrcProc, want.DstProc, got.Edge, got.SrcProc, got.DstProc)
-	}
-	// edgelint:ignore floateq — oracle checks bit-identical restore
-	if got.Arrival != want.Arrival || got.Base != want.Base {
-		return fmt.Sprintf("edge %d arrival/base: %v/%v -> %v/%v",
-			id, want.Arrival, want.Base, got.Arrival, got.Base)
-	}
-	if len(got.Route) != len(want.Route) {
-		return fmt.Sprintf("edge %d route length: %d -> %d", id, len(want.Route), len(got.Route))
-	}
-	for i := range want.Route {
-		if got.Route[i] != want.Route[i] {
-			return fmt.Sprintf("edge %d route hop %d: link %d -> link %d", id, i, want.Route[i], got.Route[i])
+// diffEdgeStore compares the columnar edge store against the captured
+// columns. Arena lengths are part of the contract: a rollback that
+// fails to truncate a transaction's appends leaves a longer arena even
+// when every committed span still reads back correctly.
+func (fp *fingerprint) diffEdgeStore(st *edgeStore) string {
+	for i, want := range fp.meta {
+		if st.meta[i] != want {
+			return fmt.Sprintf("edge %d meta: %+v -> %+v", i, want, st.meta[i])
 		}
 	}
-	if len(got.Placements) != len(want.Placements) {
-		return fmt.Sprintf("edge %d placements: %d legs -> %d legs", id, len(want.Placements), len(got.Placements))
+	if len(st.routes) != len(fp.routes) {
+		return fmt.Sprintf("edge route arena: %d entries -> %d", len(fp.routes), len(st.routes))
 	}
-	for leg := range want.Placements {
-		wp, gp := want.Placements[leg], got.Placements[leg]
-		// edgelint:ignore floateq — oracle checks bit-identical restore
-		if gp.Link != wp.Link || gp.Start != wp.Start || gp.Finish != wp.Finish {
-			return fmt.Sprintf("edge %d leg %d on link %d: [%v,%v] -> link %d [%v,%v]",
-				id, leg, wp.Link, wp.Start, wp.Finish, gp.Link, gp.Start, gp.Finish)
+	for i, want := range fp.routes {
+		if st.routes[i] != want {
+			return fmt.Sprintf("edge route arena entry %d: link %d -> link %d", i, want, st.routes[i])
 		}
-		if len(gp.Chunks) != len(wp.Chunks) {
-			return fmt.Sprintf("edge %d leg %d chunk count: %d -> %d", id, leg, len(wp.Chunks), len(gp.Chunks))
+	}
+	if len(st.legs) != len(fp.legs) {
+		return fmt.Sprintf("edge leg arena: %d entries -> %d", len(fp.legs), len(st.legs))
+	}
+	for i, want := range fp.legs {
+		if st.legs[i] != want {
+			return fmt.Sprintf("edge leg arena entry %d: %+v -> %+v", i, want, st.legs[i])
 		}
-		for c := range wp.Chunks {
-			if gp.Chunks[c] != wp.Chunks[c] {
-				return fmt.Sprintf("edge %d leg %d chunk %d: %+v -> %+v", id, leg, c, wp.Chunks[c], gp.Chunks[c])
-			}
+	}
+	if len(st.chunks) != len(fp.chunks) {
+		return fmt.Sprintf("edge chunk arena: %d entries -> %d", len(fp.chunks), len(st.chunks))
+	}
+	for i, want := range fp.chunks {
+		if st.chunks[i] != want {
+			return fmt.Sprintf("edge chunk arena entry %d: %+v -> %+v", i, want, st.chunks[i])
 		}
 	}
 	return ""

@@ -86,71 +86,97 @@ func (s *state) Clone() *state {
 	if s.tx != nil {
 		panic("sched: Clone inside a transaction")
 	}
-	c := &state{
-		g:          s.g,
-		net:        s.net,
-		opts:       s.opts,
-		mls:        s.mls,
-		routeCache: s.routeCache,
-		stats:      s.stats,
-		procFinish: append([]float64(nil), s.procFinish...),
-		tasks:      append([]TaskPlacement(nil), s.tasks...),
-		dups:       append([]TaskPlacement(nil), s.dups...),
-	}
-	c.router = s.net.NewRouter(s.routeCache)
-	if s.tl != nil {
-		c.tl = make([]*linksched.Timeline, len(s.tl))
-		for i, tl := range s.tl {
-			c.tl[i] = tl.Clone()
-		}
-	}
-	if s.bw != nil {
-		c.bw = make([]*linksched.BWTimeline, len(s.bw))
-		for i, bw := range s.bw {
-			c.bw[i] = bw.Clone()
-		}
-	}
-	if s.ptl != nil {
-		c.ptl = make([]*linksched.Timeline, len(s.ptl))
-		for i, tl := range s.ptl {
-			if tl != nil {
-				c.ptl[i] = tl.Clone()
-			}
-		}
-	}
-	c.edges = make([]*EdgeSchedule, len(s.edges))
-	for i, es := range s.edges {
-		if es != nil {
-			c.edges[i] = es.clone()
-		}
-	}
+	c := new(state)
+	s.cloneInto(c)
 	return c
 }
 
-// clone deep-copies an edge schedule, including per-leg placements and
-// bandwidth chunks, so a forked state's optimal-insertion shifts never
-// write into the original's records.
-func (es *EdgeSchedule) clone() *EdgeSchedule {
-	cl := *es
-	cl.Route = append(network.Route(nil), es.Route...)
-	cl.Placements = make([]EdgePlacement, len(es.Placements))
-	for i, p := range es.Placements {
-		cl.Placements[i] = p
-		cl.Placements[i].Chunks = append([]linksched.Chunk(nil), p.Chunks...)
+// cloneInto overwrites c with a deep copy of s. With the columnar
+// layout this is a flat column copy per field — copyColumn for the
+// placement columns, edgeStore.copyFrom for the edge arenas, and the
+// linksched bulk-copy paths for the timeline slabs — reusing every
+// backing buffer c already owns, so re-cloning a pooled replica of the
+// same topology allocates nothing in steady state.
+//
+// Three groups of fields deliberately do NOT copy over:
+//   - router scratch is rebuilt only when c's router was built against
+//     a different topology or route cache (the arrays are sized to the
+//     topology and carry no cross-clone state);
+//   - the cached relaxFn/slackFn closures reset to nil — a copied
+//     closure would still capture the ORIGINAL state — so each replica
+//     lazily rebuilds its own;
+//   - transaction state resets (tx nil, txSeq 0) and the reusable
+//     journals are re-sized to the new entity counts, which keeps the
+//     size-drift check in begin honest for pooled replicas.
+func (s *state) cloneInto(c *state) {
+	if c.router == nil || c.routerNet != s.net || c.routeCache != s.routeCache {
+		c.router = s.net.NewRouter(s.routeCache)
+		c.routerNet = s.net
 	}
-	return &cl
+	c.g = s.g
+	c.net = s.net
+	c.opts = s.opts
+	c.mls = s.mls
+	c.routeCache = s.routeCache
+	c.stats = s.stats
+	c.procFinish = copyColumn(c.procFinish, s.procFinish)
+	c.tasks = copyColumn(c.tasks, s.tasks)
+	c.dups = copyColumn(c.dups, s.dups)
+	c.edges.copyFrom(&s.edges)
+	c.tl = linksched.CopyTimelines(c.tl, s.tl)
+	c.bw = linksched.CopyBWTimelines(c.bw, s.bw)
+	c.ptl = linksched.CopyTimelines(c.ptl, s.ptl)
+	c.tx = nil
+	c.txSeq = 0
+	if c.txFree != nil {
+		c.txFree.taskOld.resize(len(s.tasks))
+		c.txFree.procOld.resize(len(s.procFinish))
+		c.txFree.edgeOld.resize(len(s.edges.meta))
+		c.txFree.tlSnaps.resize(len(s.tl))
+		c.txFree.bwSnaps.resize(len(s.bw))
+		c.txFree.ptlSnaps.resize(len(s.ptl))
+	}
+	c.forks = c.forks[:0]
+	c.forkErrs = c.forkErrs[:0]
+	c.relaxEdgeCost = 0
+	c.relaxFn = nil
+	c.slackFn = nil
 }
 
+// statePool recycles fork replicas across Schedule runs: a replica's
+// columns, arenas, timeline slabs, journals and router scratch all
+// retain their capacity in the pool, so the next fork of a same-shaped
+// problem is pure copy() work. Only fork replicas are pooled — the
+// primary state's tasks/dups slices escape into the returned Schedule.
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
 // fork creates the worker replicas for parallel EFT probing. Called
-// once per Schedule run, before any task is placed.
+// once per Schedule run, before any task is placed; releaseForks
+// returns the replicas to the pool when the run ends.
 func (s *state) fork(workers int) {
 	if workers <= 1 {
 		return
 	}
-	s.forks = make([]*state, workers-1)
-	for i := range s.forks {
-		s.forks[i] = s.Clone()
+	if cap(s.forks) < workers-1 {
+		s.forks = make([]*state, workers-1)
 	}
+	s.forks = s.forks[:workers-1]
+	for i := range s.forks {
+		f := statePool.Get().(*state)
+		s.cloneInto(f)
+		s.forks[i] = f
+	}
+}
+
+// releaseForks hands the fork replicas back to the pool. The replicas
+// hold no references into the returned Schedule (their columns are
+// private copies), so recycling them is safe the moment the run ends.
+func (s *state) releaseForks() {
+	for i, f := range s.forks {
+		s.forks[i] = nil
+		statePool.Put(f)
+	}
+	s.forks = s.forks[:0]
 }
 
 // placeAndCommit places tid on proc in this state and every fork.

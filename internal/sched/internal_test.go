@@ -19,6 +19,12 @@ func mkState(t *testing.T, g *dag.Graph, net *network.Topology, opts Options) *s
 	return s
 }
 
+// edgeView materializes the columnar store's record of one edge (nil if
+// unscheduled) for white-box assertions against the public shape.
+func (s *state) edgeView(id dag.EdgeID) *EdgeSchedule {
+	return s.edges.materialize()[id]
+}
+
 func TestReadyTime(t *testing.T) {
 	g := dag.New()
 	a := g.AddTask("a", 10)
@@ -71,12 +77,12 @@ func TestCommAtReadyDelaysEarlyPredecessor(t *testing.T) {
 	}
 
 	ready := run(CommAtReady)
-	if es := ready.edges[ea]; es == nil || es.Placements[0].Start < 50 {
+	if es := ready.edgeView(ea); es == nil || es.Placements[0].Start < 50 {
 		t.Fatalf("at-ready: edge a->c entered the network at %v, want ≥ 50 (b's finish)",
 			es.Placements[0].Start)
 	}
 	eager := run(CommAtSourceFinish)
-	if es := eager.edges[ea]; es == nil || es.Placements[0].Start >= 50 {
+	if es := eager.edgeView(ea); es == nil || es.Placements[0].Start >= 50 {
 		t.Fatalf("eager: edge a->c entered the network at %v, want < 50",
 			es.Placements[0].Start)
 	}
@@ -122,7 +128,7 @@ func TestTxnRollbackRestoresEverything(t *testing.T) {
 		for _, tl := range s.tl {
 			sn.slotCounts = append(sn.slotCounts, tl.Len())
 		}
-		for i, es := range s.edges {
+		for i, es := range s.edges.materialize() {
 			if es != nil {
 				sn.placements[dag.EdgeID(i)] = append([]EdgePlacement(nil), es.Placements...)
 			}
@@ -195,12 +201,13 @@ func TestTxnRollbackRestoresBandwidth(t *testing.T) {
 	}
 }
 
-// TestCowEdgeJournalsUntouchedEdge reproduces the silent-rollback hole:
-// cowEdge on an edge that was never journaled used to return the live
-// pre-transaction *EdgeSchedule for in-place mutation, corrupting state
-// that rollback could not restore. cowEdge must journal the edge on the
-// spot and hand back a clone.
-func TestCowEdgeJournalsUntouchedEdge(t *testing.T) {
+// TestCowEdgeLegsJournalsUntouchedEdge reproduces the span-level
+// silent-rollback hole: mutating a committed edge's leg records in
+// place would corrupt arena entries below the rollback watermark,
+// which truncation cannot restore. cowEdgeLegs must journal the
+// pre-copy meta on the spot and re-point the span at a
+// transaction-private copy above the watermark.
+func TestCowEdgeLegsJournalsUntouchedEdge(t *testing.T) {
 	g := dag.Chain(2, 1, 100)
 	net := network.Line(2, network.Uniform(1), network.Uniform(1))
 	s := mkState(t, g, net, Options{})
@@ -211,29 +218,36 @@ func TestCowEdgeJournalsUntouchedEdge(t *testing.T) {
 	if _, err := s.placeTask(1, p[1]); err != nil {
 		t.Fatal(err)
 	}
-	es := s.edges[0]
-	if es == nil || len(es.Placements) == 0 {
-		t.Fatalf("chain edge has no schedule: %+v", es)
+	m := s.edges.meta[0]
+	if !m.scheduled || m.legs.n == 0 {
+		t.Fatalf("chain edge has no schedule: %+v", m)
 	}
-	want := es.Placements[0]
+	want := s.edges.legs[m.legs.off]
+	nLegs := len(s.edges.legs)
 
-	// Probe-style transaction that mutates the edge without any prior
+	// Probe-style transaction that shifts the edge without any prior
 	// touchEdge — exactly what a buggy placement path would do.
 	s.begin()
-	cl := s.cowEdge(0)
-	if cl == es {
-		t.Fatal("cowEdge returned the live pre-transaction schedule for an un-touched edge")
+	s.cowEdgeLegs(0)
+	if !s.tx.edgeOld.has(0) {
+		t.Fatal("cowEdgeLegs did not journal the pre-copy meta")
 	}
-	cl.Placements[0].Start += 17
-	cl.Placements[0].Finish += 17
+	cowOff := s.edges.meta[0].legs.off
+	if int(cowOff) < s.tx.marks.legs {
+		t.Fatal("cowEdgeLegs left a committed edge's legs below the rollback watermark")
+	}
+	s.edges.legs[cowOff].start += 17
+	s.edges.legs[cowOff].finish += 17
 	s.rollback()
 
-	got := s.edges[0]
-	if got != es {
-		t.Fatalf("rollback did not restore the pre-transaction schedule pointer")
+	if got := s.edges.meta[0]; got != m {
+		t.Fatalf("rollback did not restore the pre-transaction meta: %+v -> %+v", m, got)
 	}
-	if gp := got.Placements[0]; gp.Link != want.Link || gp.Start != want.Start || gp.Finish != want.Finish {
-		t.Fatalf("rollback left a corrupted placement: %+v, want %+v", gp, want)
+	if got := s.edges.legs[m.legs.off]; got != want {
+		t.Fatalf("rollback left a corrupted leg record: %+v, want %+v", got, want)
+	}
+	if len(s.edges.legs) != nLegs {
+		t.Fatalf("rollback did not truncate the legs arena: %d entries, want %d", len(s.edges.legs), nLegs)
 	}
 }
 
@@ -286,9 +300,9 @@ func TestRollbackOracleDetectsUnjournaledWrites(t *testing.T) {
 			s.procFinish[0] += 5
 		},
 		"edge": func(s *state) {
-			// In-place mutation through the live pointer, bypassing
-			// touchEdge/cowEdge — the exact hole this PR closes.
-			s.edges[0].Placements[0].Start += 3
+			// In-place mutation of a committed leg record, bypassing
+			// touchEdge/cowEdgeLegs — the span-level silent-rollback hole.
+			s.edges.legs[s.edges.meta[0].legs.off].start += 3
 		},
 		"link": func(s *state) {
 			s.tl[0].InsertBasic(linksched.Owner{Edge: 99, Leg: 0}, linksched.Request{ES: 500, PF: 500, Dur: 1})
@@ -514,7 +528,7 @@ func TestSlackFuncMatchesPlacements(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The chain edge crosses two links.
-	es := s.edges[0]
+	es := s.edgeView(0)
 	if es == nil || len(es.Placements) != 2 {
 		t.Fatalf("edge schedule %+v", es)
 	}

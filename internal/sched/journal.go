@@ -31,6 +31,32 @@ func (j *journal[V]) init(n int) {
 	j.epoch = 1
 }
 
+// resize re-sizes the journal for IDs in [0, n), keeping whatever
+// buffers it can: the value slots persist (their snapshot buffers stay
+// reusable via stale) and the touched-ID list keeps its capacity. The
+// marks are cleared on any length change — shrinking and re-growing
+// within capacity would otherwise re-expose epoch stamps from a
+// previous life of the journal, and a stale stamp equal to the current
+// epoch would silently skip journaling. Called when a pooled state is
+// re-cloned onto a differently sized problem.
+//
+// edgelint:coldpath — pooled-state re-sizing at clone time
+func (j *journal[V]) resize(n int) {
+	if n == len(j.mark) {
+		return
+	}
+	if cap(j.mark) < n {
+		j.mark = make([]uint32, n)
+		j.vals = make([]V, n)
+	} else {
+		j.mark = j.mark[:n]
+		j.vals = j.vals[:n]
+		clear(j.mark)
+	}
+	j.ids = j.ids[:0]
+	j.epoch = 1
+}
+
 // has reports whether id was journaled in the open transaction.
 func (j *journal[V]) has(id int) bool { return j.mark[id] == j.epoch }
 

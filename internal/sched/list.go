@@ -400,14 +400,18 @@ type state struct {
 	net  *network.Topology // edgelint:shared — immutable input, frozen after construction
 	opts Options
 
-	tl  []*linksched.Timeline   // per link, slots engine
-	bw  []*linksched.BWTimeline // per link, bandwidth engine
-	ptl []*linksched.Timeline   // per processor node, insertion policy only
+	// The timelines are stored by value in flat columns — one Timeline
+	// per link ID — so cloning a state copies backing slabs instead of
+	// chasing one heap object per link. Zero values are valid empty
+	// timelines, so non-processor entries of ptl need no sentinel.
+	tl  []linksched.Timeline   // per link, slots engine
+	bw  []linksched.BWTimeline // per link, bandwidth engine
+	ptl []linksched.Timeline   // per processor node, insertion policy only
 	mls float64
 
 	procFinish []float64 // per node ID (processor entries only)
 	tasks      []TaskPlacement
-	edges      []*EdgeSchedule
+	edges      edgeStore // columnar edge schedules, see edgestore.go
 	dups       []TaskPlacement // duplicated source tasks (Duplication)
 
 	tx *txn // active transaction, or nil
@@ -422,8 +426,12 @@ type state struct {
 
 	// router performs route searches with reused scratch buffers;
 	// routeCache memoizes the static BFS routes and is shared (it is
-	// concurrency-safe) with every fork of this state.
+	// concurrency-safe) with every fork of this state. routerNet records
+	// the topology the router was built against so a pooled replica
+	// reuses its router's scratch arrays when re-cloned onto the same
+	// topology and cache (see cloneInto).
 	router     *network.Router
+	routerNet  *network.Topology   // edgelint:shared — identity tag only, never dereferenced for mutation
 	routeCache *network.RouteCache // edgelint:shared — concurrency-safe LRU, shared with forks
 	stats      *probeStats         // edgelint:shared — shared across forks, atomic
 
@@ -433,8 +441,9 @@ type state struct {
 	forkErrs []error
 	eft      eftScratch
 
-	predBuf []dag.EdgeID // orderedPreds scratch
-	pktBuf  []float64    // placeEdgePackets scratch
+	predBuf  []dag.EdgeID      // orderedPreds scratch
+	pktBuf   []float64         // placeEdgePackets scratch
+	chunkBuf []linksched.Chunk // placeEdgePackets per-leg chunk scratch
 
 	// relaxFn and slackFn are the cached Dijkstra relaxation and
 	// Lemma-2 slack closures: built once per state on first use (they
@@ -458,33 +467,25 @@ func newState(g *dag.Graph, net *network.Topology, opts Options) (*state, error)
 	s := &state{g: g, net: net, opts: opts, mls: net.MeanLinkSpeed(), stats: &probeStats{}}
 	s.routeCache = network.NewRouteCache(0)
 	s.router = net.NewRouter(s.routeCache)
+	s.routerNet = net
 	nl := net.NumLinks()
 	switch opts.Engine {
 	case EngineSlots, EnginePackets:
-		s.tl = make([]*linksched.Timeline, nl)
-		for i := range s.tl {
-			s.tl[i] = linksched.NewTimeline()
-		}
+		s.tl = make([]linksched.Timeline, nl)
 	case EngineBandwidth:
-		s.bw = make([]*linksched.BWTimeline, nl)
-		for i := range s.bw {
-			s.bw[i] = linksched.NewBWTimeline()
-		}
+		s.bw = make([]linksched.BWTimeline, nl)
 	default:
 		return nil, fmt.Errorf("sched: unknown engine %v", opts.Engine)
 	}
 	s.procFinish = make([]float64, net.NumNodes())
 	if opts.TaskPolicy == TaskInsertion {
-		s.ptl = make([]*linksched.Timeline, net.NumNodes())
-		for _, p := range net.Processors() {
-			s.ptl[p] = linksched.NewTimeline()
-		}
+		s.ptl = make([]linksched.Timeline, net.NumNodes())
 	}
 	s.tasks = make([]TaskPlacement, g.NumTasks())
 	for i := range s.tasks {
 		s.tasks[i] = TaskPlacement{Task: dag.TaskID(i), Proc: -1}
 	}
-	s.edges = make([]*EdgeSchedule, g.NumEdges())
+	s.edges.init(g.NumEdges())
 	return s, nil
 }
 
@@ -506,6 +507,7 @@ func (l *ListScheduler) Schedule(g *dag.Graph, net *network.Topology) (*Schedule
 	}
 	if l.Opts.ProcSelect == ProcSelectEFT && net.NumProcessors() > 1 {
 		s.fork(probeWorkers(l.Opts))
+		defer s.releaseForks()
 	}
 	for _, tid := range order {
 		proc, err := s.selectProcessor(tid)
@@ -521,7 +523,7 @@ func (l *ListScheduler) Schedule(g *dag.Graph, net *network.Topology) (*Schedule
 		Graph:      g,
 		Net:        net,
 		Tasks:      s.tasks,
-		Edges:      s.edges,
+		Edges:      s.edges.materialize(),
 		Makespan:   makespan(s.tasks),
 		HopDelay:   l.Opts.HopDelay,
 		Switching:  l.Opts.Switching,
@@ -663,7 +665,7 @@ func (s *state) tryDuplicate(eid dag.EdgeID, proc network.NodeID, base float64) 
 	for _, d := range s.dups {
 		if d.Task == e.From && d.Proc == proc {
 			s.touchEdge(eid)
-			s.edges[eid] = nil
+			s.edges.clear(eid)
 			return true
 		}
 	}
@@ -678,7 +680,7 @@ func (s *state) tryDuplicate(eid dag.EdgeID, proc network.NodeID, base float64) 
 	s.touchProc(proc)
 	s.procFinish[proc] = dupFinish
 	s.touchEdge(eid)
-	s.edges[eid] = nil
+	s.edges.clear(eid)
 	return true
 }
 
@@ -718,36 +720,30 @@ func (s *state) scheduleEdge(eid dag.EdgeID, dstProc network.NodeID, base float6
 		// Intra-processor communication is free; ensure no stale
 		// schedule lingers from a previous tentative placement.
 		s.touchEdge(eid)
-		s.edges[eid] = nil
+		s.edges.clear(eid)
 		return src.Finish, nil
 	}
 	route, err := s.findRoute(e, src.Proc, dstProc, base)
 	if err != nil {
 		return 0, err
 	}
-	es := &EdgeSchedule{
-		Edge:       eid,
-		SrcProc:    src.Proc,
-		DstProc:    dstProc,
-		Route:      route,
-		Placements: make([]EdgePlacement, len(route)),
-		Base:       base,
-	}
+	// Open the columnar record first (the route is copied into the
+	// arena, one zero leg per link reserved), but leave it unscheduled
+	// until every leg is placed: the engines below run slack/shift
+	// callbacks that must not see the half-built record — the same
+	// invisibility the edge had while the old code built its schedule on
+	// a private heap object.
+	s.touchEdge(eid)
+	s.edges.place(eid, src.Proc, dstProc, route, base)
 	switch s.opts.Engine {
 	case EngineSlots:
-		s.placeEdgeSlots(es, e, base)
+		s.placeEdgeSlots(eid, e, route, base)
 	case EngineBandwidth:
-		s.placeEdgeBandwidth(es, e, base)
+		s.placeEdgeBandwidth(eid, e, route, base)
 	case EnginePackets:
-		s.placeEdgePackets(es, e, base)
+		s.placeEdgePackets(eid, e, route, base)
 	}
-	es.Arrival = base
-	if n := len(es.Placements); n > 0 {
-		es.Arrival = es.Placements[n-1].Finish
-	}
-	s.touchEdge(eid)
-	s.edges[eid] = es
-	return es.Arrival, nil
+	return s.edges.finish(eid, base), nil
 }
 
 // findRoute picks the route per the configured policy.
@@ -819,10 +815,13 @@ func (s *state) buildRelaxFn() network.RelaxFunc {
 }
 
 // placeEdgeSlots walks the route placing one exclusive slot per link,
-// propagating the link causality lower bounds.
-func (s *state) placeEdgeSlots(es *EdgeSchedule, e dag.Edge, base float64) {
+// propagating the link causality lower bounds. Leg records are written
+// through setLeg, which re-derives the arena position per write: an
+// applyShift of another edge may copy-on-write its legs mid-loop and
+// grow (reallocate) the shared legs arena.
+func (s *state) placeEdgeSlots(eid dag.EdgeID, e dag.Edge, route network.Route, base float64) {
 	prevStart, prevFinish := base, base
-	for leg, lid := range es.Route {
+	for leg, lid := range route {
 		link := s.net.Link(lid)
 		req := linksched.Request{ES: prevStart, PF: prevFinish, Dur: e.Cost / link.Speed}
 		if s.opts.Switching == StoreAndForward {
@@ -832,7 +831,7 @@ func (s *state) placeEdgeSlots(es *EdgeSchedule, e dag.Edge, base float64) {
 			req.ES += s.opts.HopDelay
 			req.PF += s.opts.HopDelay
 		}
-		owner := linksched.Owner{Edge: int(es.Edge), Leg: leg}
+		owner := linksched.Owner{Edge: int(eid), Leg: leg}
 		s.touchTimeline(lid)
 		var start, finish float64
 		if s.opts.Insertion == InsertionOptimal {
@@ -844,7 +843,7 @@ func (s *state) placeEdgeSlots(es *EdgeSchedule, e dag.Edge, base float64) {
 		} else {
 			start, finish = s.tl[lid].InsertBasic(owner, req)
 		}
-		es.Placements[leg] = EdgePlacement{Link: lid, Start: start, Finish: finish}
+		s.edges.setLeg(eid, leg, legMeta{link: lid, start: start, finish: finish})
 		prevStart, prevFinish = start, finish
 	}
 }
@@ -864,24 +863,25 @@ func (s *state) slackFunc() linksched.SlackFunc {
 
 // buildSlackFn constructs the slack closure: the deferrable time of an
 // already scheduled slot is bounded by the owner edge's placement on
-// its next route link, zero on its last link.
+// its next route link, zero on its last link. Edges without a sealed
+// record — including the one currently being placed — have no slack.
 //
 // edgelint:coldpath — one-time closure construction, cached in slackFn
 func (s *state) buildSlackFn() linksched.SlackFunc {
 	return func(o linksched.Owner) float64 {
-		esch := s.edges[o.Edge]
-		if esch == nil || o.Leg >= len(esch.Placements)-1 {
+		m := s.edges.meta[o.Edge]
+		if !m.scheduled || o.Leg >= int(m.legs.n)-1 {
 			return 0
 		}
-		cur := esch.Placements[o.Leg]
-		next := esch.Placements[o.Leg+1]
+		cur := s.edges.legs[int(m.legs.off)+o.Leg]
+		next := s.edges.legs[int(m.legs.off)+o.Leg+1]
 		var dt float64
 		if s.opts.Switching == StoreAndForward {
 			// Next link starts only after this one finishes.
-			dt = next.Start - cur.Finish - s.opts.HopDelay
+			dt = next.start - cur.finish - s.opts.HopDelay
 		} else {
-			dt = next.Start - cur.Start - s.opts.HopDelay
-			if v := next.Finish - cur.Finish - s.opts.HopDelay; v < dt {
+			dt = next.start - cur.start - s.opts.HopDelay
+			if v := next.finish - cur.finish - s.opts.HopDelay; v < dt {
 				dt = v
 			}
 		}
@@ -896,16 +896,17 @@ func (s *state) buildSlackFn() linksched.SlackFunc {
 // optimal insertion.
 func (s *state) applyShift(m linksched.Shifted) {
 	eid := dag.EdgeID(m.Owner.Edge)
-	s.touchEdge(eid)
-	esch := s.edges[eid]
-	if esch == nil {
+	if !s.edges.scheduled(eid) {
+		// The in-flight edge (or a cleared one) has no record to move.
 		return
 	}
-	// The edge schedule may be shared with a journal snapshot; clone
-	// before mutating so rollback restores the original values.
-	esch = s.cowEdge(eid)
-	esch.Placements[m.Owner.Leg].Start = m.Start
-	esch.Placements[m.Owner.Leg].Finish = m.End
+	// The edge's legs may predate the open transaction, in which case
+	// they live below the rollback watermark and must be copied to the
+	// arena tail before mutation (span-level copy-on-write).
+	s.cowEdgeLegs(eid)
+	l := &s.edges.legs[int(s.edges.meta[eid].legs.off)+m.Owner.Leg]
+	l.start = m.Start
+	l.finish = m.End
 }
 
 // placeEdgePackets divides the edge's volume into packets and
@@ -916,7 +917,7 @@ func (s *state) applyShift(m linksched.Shifted) {
 // route. PacketOverhead extends each packet's occupation, modelled as
 // a bandwidth-efficiency loss so the verifier's volume accounting
 // stays exact.
-func (s *state) placeEdgePackets(es *EdgeSchedule, e dag.Edge, base float64) {
+func (s *state) placeEdgePackets(eid dag.EdgeID, e dag.Edge, route network.Route, base float64) {
 	size := s.opts.PacketSize
 	if size <= 0 {
 		size = 100
@@ -934,11 +935,12 @@ func (s *state) placeEdgePackets(es *EdgeSchedule, e dag.Edge, base float64) {
 	for p := range prevFinish {
 		prevFinish[p] = base
 	}
-	for leg, lid := range es.Route {
+	for leg, lid := range route {
 		link := s.net.Link(lid)
 		s.touchTimeline(lid)
 		var legStart, legFinish float64
 		lastOnLink := 0.0 // finish of packet p-1 on this link
+		legChunks := s.chunkBuf[:0]
 		for p := 0; p < nPkts; p++ {
 			vol := size
 			if p == nPkts-1 {
@@ -952,7 +954,7 @@ func (s *state) placeEdgePackets(es *EdgeSchedule, e dag.Edge, base float64) {
 			if lastOnLink > lb {
 				lb = lastOnLink
 			}
-			owner := linksched.Owner{Edge: int(es.Edge), Leg: leg}
+			owner := linksched.Owner{Edge: int(eid), Leg: leg}
 			start, finish := s.tl[lid].InsertBasic(owner, linksched.Request{ES: lb, PF: lb, Dur: dur})
 			if p == 0 {
 				legStart = start
@@ -964,24 +966,28 @@ func (s *state) placeEdgePackets(es *EdgeSchedule, e dag.Edge, base float64) {
 			if dur > 0 {
 				rate = vol / (link.Speed * dur) // < 1 with overhead
 			}
-			es.Placements[leg].Chunks = append(es.Placements[leg].Chunks, linksched.Chunk{
+			legChunks = append(legChunks, linksched.Chunk{
 				Start: start, End: finish, Rate: rate, Volume: vol,
 			})
 		}
-		es.Placements[leg].Link = lid
-		es.Placements[leg].Start = legStart
-		es.Placements[leg].Finish = legFinish
+		s.chunkBuf = legChunks
+		s.edges.setLeg(eid, leg, legMeta{
+			link:   lid,
+			start:  legStart,
+			finish: legFinish,
+			chunks: s.edges.appendChunks(legChunks),
+		})
 	}
 }
 
 // placeEdgeBandwidth transfers the edge's volume over the route using
 // fractional bandwidth per BBSA.
-func (s *state) placeEdgeBandwidth(es *EdgeSchedule, e dag.Edge, base float64) {
+func (s *state) placeEdgeBandwidth(eid dag.EdgeID, e dag.Edge, route network.Route, base float64) {
 	var chunks []linksched.Chunk
 	prevSpeed := 0.0
-	for leg, lid := range es.Route {
+	for leg, lid := range route {
 		link := s.net.Link(lid)
-		owner := linksched.Owner{Edge: int(es.Edge), Leg: leg}
+		owner := linksched.Owner{Edge: int(eid), Leg: leg}
 		s.touchBWTimeline(lid)
 		switch {
 		case leg == 0:
@@ -999,7 +1005,12 @@ func (s *state) placeEdgeBandwidth(es *EdgeSchedule, e dag.Edge, base float64) {
 			start = chunks[0].Start
 			finish = chunks[len(chunks)-1].End
 		}
-		es.Placements[leg] = EdgePlacement{Link: lid, Start: start, Finish: finish, Chunks: chunks}
+		s.edges.setLeg(eid, leg, legMeta{
+			link:   lid,
+			start:  start,
+			finish: finish,
+			chunks: s.edges.appendChunks(chunks),
+		})
 		prevSpeed = link.Speed
 	}
 }

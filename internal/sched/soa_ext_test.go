@@ -1,0 +1,124 @@
+// End-to-end pins for the columnar scheduler state, in the external
+// test package so each schedule can run through the full validator
+// (verify imports sched, so the in-package tests cannot use it).
+package sched_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+// soaInstance mirrors the in-package fork tests' workload: a small
+// layered DAG on a star, large enough that every engine places
+// multi-leg edges through the span arenas.
+func soaInstance(seed int64) (*dag.Graph, *network.Topology) {
+	r := rand.New(rand.NewSource(seed))
+	g := dag.RandomLayered(r, dag.RandomLayeredParams{
+		Tasks:    25,
+		TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+		EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
+	})
+	net := network.Star(4, network.Uniform(1), network.Uniform(1))
+	return g, net
+}
+
+// soaOptionSets are the engine/policy combinations the probe replicas
+// must reproduce exactly.
+func soaOptionSets() map[string]sched.Options {
+	return map[string]sched.Options{
+		"slots-basic": {ProcSelect: sched.ProcSelectEFT},
+		"slots-optimal": {ProcSelect: sched.ProcSelectEFT,
+			Insertion: sched.InsertionOptimal, EdgeOrder: sched.EdgeOrderDescCost},
+		"bandwidth":   {ProcSelect: sched.ProcSelectEFT, Engine: sched.EngineBandwidth},
+		"packets":     {ProcSelect: sched.ProcSelectEFT, Engine: sched.EnginePackets, PacketSize: 40},
+		"insertion":   {ProcSelect: sched.ProcSelectEFT, TaskPolicy: sched.TaskInsertion},
+		"duplication": {ProcSelect: sched.ProcSelectEFT, Duplication: true},
+	}
+}
+
+// TestScheduleIdenticalAcrossProbeWorkers is the end-to-end
+// determinism pin for the columnar refactor: full schedules must be
+// bit-identical at ProbeWorkers 1 and 8, with the sampled rollback
+// fingerprint oracle armed so an un-journaled write in the columnar
+// store would panic rather than skew a replica.
+func TestScheduleIdenticalAcrossProbeWorkers(t *testing.T) {
+	for name, opts := range soaOptionSets() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			g, net := soaInstance(23)
+			opts.VerifyRollbackEvery = 7
+			opts.ProbeWorkers = 1
+			seq, err := sched.NewCustom("seq", opts).Schedule(g, net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.ProbeWorkers = 8
+			par, err := sched.NewCustom("par", opts).Schedule(g, net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []*sched.Schedule{seq, par} {
+				if res := verify.Verify(s); !res.OK() {
+					t.Fatalf("invalid schedule: %v", res)
+				}
+			}
+			if !reflect.DeepEqual(seq.Tasks, par.Tasks) {
+				t.Fatal("task placements differ between ProbeWorkers 1 and 8")
+			}
+			if !reflect.DeepEqual(seq.Edges, par.Edges) {
+				t.Fatal("edge schedules differ between ProbeWorkers 1 and 8")
+			}
+			if !reflect.DeepEqual(seq.Duplicates, par.Duplicates) {
+				t.Fatal("duplicates differ between ProbeWorkers 1 and 8")
+			}
+			// edgelint:ignore floateq — bit-identical by construction
+			if seq.Makespan != par.Makespan {
+				t.Fatalf("makespan differs: %v vs %v", seq.Makespan, par.Makespan)
+			}
+		})
+	}
+}
+
+// TestPooledForkReuse runs the same parallel instance twice in a row:
+// the second run's forks come out of the state pool, so any stale
+// buffer, mark array or cached closure surviving the pooled re-clone
+// would skew its schedule relative to the first run.
+func TestPooledForkReuse(t *testing.T) {
+	g, net := soaInstance(31)
+	opts := sched.Options{ProcSelect: sched.ProcSelectEFT, Insertion: sched.InsertionOptimal,
+		EdgeOrder: sched.EdgeOrderDescCost, ProbeWorkers: 4, VerifyRollbackEvery: 5}
+	first, err := sched.NewCustom("x", opts).Schedule(g, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := verify.Verify(first); !res.OK() {
+		t.Fatalf("invalid schedule: %v", res)
+	}
+	// A differently shaped instance in between forces the pooled
+	// replicas through the journal and column resize paths.
+	g2 := dag.Chain(4, 1, 10)
+	net2 := network.Star(6, network.Uniform(2), network.Uniform(1))
+	mid, err := sched.NewCustom("y", opts).Schedule(g2, net2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := verify.Verify(mid); !res.OK() {
+		t.Fatalf("invalid schedule: %v", res)
+	}
+	second, err := sched.NewCustom("x", opts).Schedule(g, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := verify.Verify(second); !res.OK() {
+		t.Fatalf("invalid schedule: %v", res)
+	}
+	if !reflect.DeepEqual(first.Tasks, second.Tasks) || !reflect.DeepEqual(first.Edges, second.Edges) {
+		t.Fatal("pooled fork reuse changed the schedule across runs")
+	}
+}

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"repro/internal/dag"
 	"repro/internal/linksched"
 	"repro/internal/network"
@@ -16,13 +18,19 @@ import (
 type txn struct {
 	taskOld  journal[TaskPlacement]
 	procOld  journal[float64]
-	edgeOld  journal[*EdgeSchedule]
+	edgeOld  journal[edgeMeta]
 	tlSnaps  journal[linksched.Snapshot]
 	bwSnaps  journal[linksched.BWSnapshot]
 	ptlSnaps journal[linksched.Snapshot]
 	// dupsLen is the duplicates count at transaction start; rollback
 	// truncates to it (duplicates are append-only).
 	dupsLen int
+	// marks are the edge-store arena lengths at transaction start;
+	// rollback truncates the arenas to them, discarding every
+	// route/leg/chunk entry the transaction appended. Committed records
+	// all live below the marks, so restoring the journaled edgeMeta
+	// values plus this truncation restores the store exactly.
+	marks arenaMarks
 	// fp is the rollback oracle's deep fingerprint of the whole state,
 	// captured at begin when Options.VerifyRollback is set (or on every
 	// VerifyRollbackEvery'th transaction); rollback re-fingerprints
@@ -42,9 +50,12 @@ func (s *state) begin() {
 	}
 	if s.txFree == nil {
 		s.txFree = s.newTxn()
+	} else {
+		s.checkJournalSizes(s.txFree)
 	}
 	s.tx = s.txFree
 	s.tx.dupsLen = len(s.dups)
+	s.tx.marks = s.edges.marks()
 	if s.opts.VerifyRollback ||
 		(s.opts.VerifyRollbackEvery > 0 && s.txSeq%uint64(s.opts.VerifyRollbackEvery) == 0) {
 		s.tx.fp = s.captureFingerprint()
@@ -61,11 +72,42 @@ func (s *state) newTxn() *txn {
 	tx := &txn{}
 	tx.taskOld.init(len(s.tasks))
 	tx.procOld.init(len(s.procFinish))
-	tx.edgeOld.init(len(s.edges))
+	tx.edgeOld.init(len(s.edges.meta))
 	tx.tlSnaps.init(len(s.tl))
 	tx.bwSnaps.init(len(s.bw))
 	tx.ptlSnaps.init(len(s.ptl))
 	return tx
+}
+
+// checkJournalSizes verifies that the reusable journals still match the
+// state's entity counts: journal.put indexes mark[id] unchecked, so a
+// journal sized for a different entity census would corrupt memory or
+// panic opaquely deep inside a probe. Drift can only come from a bug in
+// the clone/pool plumbing (cloneInto resizes the journals), so this
+// fails loudly with a named panic rather than limping on.
+//
+// edgelint:noalloc
+func (s *state) checkJournalSizes(tx *txn) {
+	if len(tx.taskOld.mark) != len(s.tasks) ||
+		len(tx.procOld.mark) != len(s.procFinish) ||
+		len(tx.edgeOld.mark) != len(s.edges.meta) ||
+		len(tx.tlSnaps.mark) != len(s.tl) ||
+		len(tx.bwSnaps.mark) != len(s.bw) ||
+		len(tx.ptlSnaps.mark) != len(s.ptl) {
+		s.journalSizeDrift(tx)
+	}
+}
+
+// journalSizeDrift formats the named size-drift panic off the hot path.
+//
+// edgelint:coldpath — panic formatting, unreachable unless state is corrupt
+func (s *state) journalSizeDrift(tx *txn) {
+	panic(fmt.Sprintf("sched: journal size drift: journals sized for "+
+		"%d tasks/%d procs/%d edges/%d tl/%d bw/%d ptl, state has %d/%d/%d/%d/%d/%d",
+		len(tx.taskOld.mark), len(tx.procOld.mark), len(tx.edgeOld.mark),
+		len(tx.tlSnaps.mark), len(tx.bwSnaps.mark), len(tx.ptlSnaps.mark),
+		len(s.tasks), len(s.procFinish), len(s.edges.meta),
+		len(s.tl), len(s.bw), len(s.ptl)))
 }
 
 // rollback restores everything the transaction touched and closes it.
@@ -86,8 +128,9 @@ func (s *state) rollback() {
 		s.procFinish[id] = tx.procOld.vals[id]
 	}
 	for _, id := range tx.edgeOld.ids {
-		s.edges[id] = tx.edgeOld.vals[id]
+		s.edges.meta[id] = tx.edgeOld.vals[id]
 	}
+	s.edges.truncate(tx.marks)
 	for _, id := range tx.tlSnaps.ids {
 		s.tl[id].Restore(tx.tlSnaps.vals[id])
 	}
@@ -140,8 +183,11 @@ func (s *state) touchProc(id network.NodeID) {
 	}
 }
 
-// touchEdge journals an edge schedule pointer before replacement or
-// mutation.
+// touchEdge journals an edge's fixed-width meta record before
+// replacement or mutation. The meta value carries the edge's spans, so
+// restoring it re-points the edge at its committed arena data; arena
+// entries themselves are only ever appended inside a transaction and
+// are discarded wholesale by the rollback truncation.
 //
 // edgelint:noalloc
 func (s *state) touchEdge(id dag.EdgeID) {
@@ -149,31 +195,33 @@ func (s *state) touchEdge(id dag.EdgeID) {
 		return
 	}
 	if !s.tx.edgeOld.has(int(id)) {
-		s.tx.edgeOld.put(int(id), s.edges[id])
+		s.tx.edgeOld.put(int(id), s.edges.meta[id])
 	}
 }
 
-// cowEdge returns an edge schedule safe to mutate in place: inside a
-// transaction, a schedule that predates the transaction is cloned
-// first so the journaled pointer keeps the original values. An edge
-// that was never journaled is journaled on the spot — returning the
-// live pre-transaction pointer here would let the caller mutate state
-// that rollback cannot restore (the silent-rollback hole).
-func (s *state) cowEdge(id dag.EdgeID) *EdgeSchedule {
-	cur := s.edges[id]
-	if s.tx == nil || cur == nil {
-		return cur
+// cowEdgeLegs makes edge id's leg records safe to mutate in place:
+// inside a transaction, legs that predate the transaction — they live
+// below the rollback watermark, where truncation cannot discard a
+// write — are copied to the arena tail first, and the meta span is
+// re-pointed at the copy. The pre-copy meta is journaled on the spot:
+// skipping that would let the caller mutate committed arena entries
+// that rollback cannot restore (the span-level silent-rollback hole).
+// Legs already above the watermark are transaction-private and mutable
+// as they are.
+func (s *state) cowEdgeLegs(id dag.EdgeID) {
+	if s.tx == nil {
+		return
 	}
-	if !s.tx.edgeOld.has(int(id)) {
-		s.tx.edgeOld.put(int(id), cur) // journal now; clone below
-	} else if s.tx.edgeOld.vals[id] != cur {
-		return cur // created or already cloned inside this transaction
+	s.touchEdge(id)
+	m := &s.edges.meta[id]
+	if m.legs.n == 0 || int(m.legs.off) >= s.tx.marks.legs {
+		return // transaction-private (or empty): in-place writes roll back fine
 	}
-	cl := *cur
-	cl.Placements = append([]EdgePlacement(nil), cur.Placements...)
-	cl.Route = append(network.Route(nil), cur.Route...)
-	s.edges[id] = &cl
-	return &cl
+	off := int32(len(s.edges.legs))
+	// edgelint:coldpath — amortized arena growth; capacity persists
+	// across transactions and pooled reuse.
+	s.edges.legs = append(s.edges.legs, s.edges.legs[m.legs.off:m.legs.off+m.legs.n]...)
+	m.legs.off = off
 }
 
 // touchTimeline journals a slot timeline before modification. The
