@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint lint-self check bench bench-smoke bench-check
+.PHONY: build vet test race lint lint-self check bench bench-smoke bench-check load-smoke
 
 build:
 	$(GO) build ./...
@@ -38,5 +38,11 @@ bench-smoke:
 bench-check:
 	$(GO) run ./cmd/benchdiff -check -count 3 -benchtime 5x
 
+# load-smoke starts edgeschedd on a small topology, drives it with
+# edgeload for a few seconds, and fails on any request error, zero
+# throughput, or an unclean drain.
+load-smoke:
+	./scripts/load_smoke.sh
+
 # check mirrors the CI pipeline (.github/workflows/ci.yml).
-check: build vet test race lint lint-self bench-check
+check: build vet test race lint lint-self bench-check load-smoke

@@ -8,6 +8,7 @@ package edgesched
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/dag"
@@ -237,6 +238,101 @@ func BenchmarkAblationPriority(b *testing.B) { benchAblation(b, "priority") }
 
 // BenchmarkAblationDuplication measures source-task duplication (A12).
 func BenchmarkAblationDuplication(b *testing.B) { benchAblation(b, "duplication") }
+
+// --- serving engine benchmarks --------------------------------------
+
+// engineFleet is the request wave size of the serving benchmarks: one
+// benchmark op schedules all 64 DAGs, so ns/op is directly comparable
+// between the engine and the cold sequential baseline.
+const engineFleet = 64
+
+// engineBenchWorld builds the shared serving workload: one 32-processor
+// topology and 64 distinct medium DAGs.
+func engineBenchWorld() (*network.Topology, []*dag.Graph) {
+	net := benchInstance().Net
+	gs := make([]*dag.Graph, engineFleet)
+	for i := range gs {
+		r := rand.New(rand.NewSource(int64(100 + i)))
+		gs[i] = dag.RandomLayered(r, dag.RandomLayeredParams{
+			Tasks:    100,
+			TaskCost: dag.CostDist{Lo: 1, Hi: 50},
+			EdgeCost: dag.CostDist{Lo: 1, Hi: 200},
+		})
+	}
+	return net, gs
+}
+
+// BenchmarkEngineThroughput serves the 64-DAG wave concurrently from a
+// warmed engine: shared route cache, pooled per-request states,
+// GOMAXPROCS worker slots. Against BenchmarkEngineColdSequential this
+// measures exactly what the engine amortizes — on any machine the
+// steady-state allocations per request collapse (pooled columns, warm
+// cache), and at GOMAXPROCS > 1 the wave additionally overlaps on the
+// cores. Schedules are bit-identical to the cold runs throughout (see
+// TestEngineMatchesColdRun).
+func BenchmarkEngineThroughput(b *testing.B) {
+	net, gs := engineBenchWorld()
+	eng, err := sched.NewEngine(net, sched.EngineOptions{
+		Name: "BA", Opts: sched.NewBA().Opts, WarmRoutes: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Drain()
+	// One untimed wave fills the state pool and finishes cache warmup,
+	// so the timed ops measure the steady state the engine exists for.
+	runEngineWave(b, eng, gs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runEngineWave(b, eng, gs)
+	}
+	b.StopTimer()
+	st := eng.Stats()
+	b.ReportMetric(100*st.CacheHitRate, "cache_hit_%")
+}
+
+func runEngineWave(b *testing.B, eng *sched.Engine, gs []*dag.Graph) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for _, g := range gs {
+		wg.Add(1)
+		go func(g *dag.Graph) {
+			defer wg.Done()
+			s, err := eng.Schedule(g)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if s.Makespan <= 0 {
+				b.Error("empty makespan")
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkEngineColdSequential is the baseline the engine is measured
+// against: the same 64-DAG wave scheduled by cold one-shot calls — a
+// fresh state, fresh columns and a fresh route cache per request, one
+// request at a time.
+func BenchmarkEngineColdSequential(b *testing.B) {
+	net, gs := engineBenchWorld()
+	a := sched.NewBA()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range gs {
+			s, err := a.Schedule(g, net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Makespan <= 0 {
+				b.Fatal("empty makespan")
+			}
+		}
+	}
+}
 
 // --- substrate micro benchmarks -------------------------------------
 

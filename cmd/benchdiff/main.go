@@ -153,9 +153,15 @@ func main() {
 // an explicit @allocs entry so its allocation count stays pinned even
 // if the wall-time entry is ever relaxed: its allocs/op is the
 // flat-state series' headline number.
+// BenchmarkEngineThroughput guards the serving path: its wall time is
+// the engine's whole value proposition (64 schedules against a warm
+// shared cache and pooled states), and its @allocs entry pins the
+// steady-state allocations per wave — a leak in resetFor or a lost
+// pool hit shows up here as a multiple, not a percent.
 const defaultGate = "BenchmarkScheduleBA,BenchmarkScheduleBASinnen,BenchmarkScheduleBASinnenLarge,BenchmarkScheduleBASinnenLarge@allocs," +
 	"BenchmarkScheduleBASinnenManyProcs,BenchmarkScheduleOIHSA,BenchmarkScheduleBBSA," +
-	"BenchmarkBandwidthAllocForward/jobs=10000,BenchmarkBandwidthEstimateFinish/segs=10000,BenchmarkTimelineProbeBasic/slots=10000@allocs"
+	"BenchmarkBandwidthAllocForward/jobs=10000,BenchmarkBandwidthEstimateFinish/segs=10000,BenchmarkTimelineProbeBasic/slots=10000@allocs," +
+	"BenchmarkEngineThroughput,BenchmarkEngineThroughput@allocs"
 
 // runBench shells out to go test -bench and returns its stdout.
 func runBench(bench string, count int, benchTime, timeOut, pkg string) (string, []string, error) {

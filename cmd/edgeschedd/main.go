@@ -1,0 +1,268 @@
+// Command edgeschedd is the scheduling daemon: it loads one network
+// topology at startup, builds a long-lived sched.Engine for a chosen
+// algorithm, and serves scheduling requests over HTTP/JSON. The
+// topology's route cache is warmed once and shared by every request;
+// per-request scheduler state is pooled — so steady-state requests pay
+// only for the work that is genuinely theirs, and throughput scales
+// with concurrent clients while every schedule stays bit-identical to
+// a cold single-threaded run (spot-checked at runtime via
+// -self-check-every).
+//
+// Usage:
+//
+//	edgeschedd -topology net.json -algo OIHSA -addr :8080
+//	edgeschedd -topology star:8 -addr 127.0.0.1:0 -addr-file port.txt
+//
+// -topology accepts either a topology JSON file or a builder spec —
+// star:N, ring:N, line:N, fully:N, hypercube:D (unit speeds) — so
+// smoke setups need no fixture files.
+//
+// Endpoints:
+//
+//	POST /schedule      task graph JSON in, schedule summary out
+//	POST /schedule?full=1   full schedule JSON out (tasks, edges, routes)
+//	GET  /stats         engine counters (requests, cache, contention)
+//	GET  /healthz       200 once serving
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting,
+// in-flight requests finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/graphio"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "", "topology JSON file (required)")
+		algo      = flag.String("algo", "OIHSA", "algorithm: BA, BA-EFT, OIHSA or BBSA")
+		addr      = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+		addrFile  = flag.String("addr-file", "", "write the actual listen address to this file (for :0 discovery)")
+		maxConc   = flag.Int("max-concurrent", 0, "max requests scheduled simultaneously (0 = GOMAXPROCS)")
+		maxQueue  = flag.Int("max-queue", 256, "max requests waiting for a slot before 503 (0 = unbounded)")
+		warm      = flag.Bool("warm", true, "precompute all processor-pair routes at startup")
+		selfCheck = flag.Int("self-check-every", 1000, "re-run every Nth request cold and require bit-identical output (0 = off)")
+		doVerify  = flag.Bool("verify", false, "run the full schedule validator on every response (slower)")
+		rdTimeout = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+	)
+	flag.Parse()
+	if *topoPath == "" {
+		fatal(errors.New("-topology is required"))
+	}
+
+	topo, err := loadTopology(*topoPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	ls, err := preset(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := sched.NewEngine(topo, sched.EngineOptions{
+		Name:           ls.AlgorithmName,
+		Opts:           ls.Opts,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		WarmRoutes:     *warm,
+		SelfCheckEvery: *selfCheck,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	srv := &http.Server{Handler: newServer(eng, *doVerify), ReadTimeout: *rdTimeout}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "edgeschedd: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// edgelint:ignore errflow — shutdown timeout only abandons
+		// stragglers; the engine drain below still waits for admitted work.
+		srv.Shutdown(ctx)
+		eng.Drain()
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "edgeschedd: %s serving %s on %s (%d processors, %d links)\n",
+		ls.AlgorithmName, *topoPath, ln.Addr(), topo.NumProcessors(), topo.NumLinks())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "edgeschedd: drained after %d requests (%d failed), cache hit rate %.1f%%\n",
+		st.Requests, st.Failures, 100*st.CacheHitRate)
+}
+
+// loadTopology resolves -topology: a builder spec like "star:8"
+// (unit speeds) or a topology JSON file.
+func loadTopology(arg string) (*network.Topology, error) {
+	if kind, nStr, ok := strings.Cut(arg, ":"); ok {
+		if n, err := strconv.Atoi(nStr); err == nil {
+			one := network.Uniform(1)
+			switch kind {
+			case "star":
+				return network.Star(n, one, one), nil
+			case "ring":
+				return network.Ring(n, one, one), nil
+			case "line":
+				return network.Line(n, one, one), nil
+			case "fully":
+				return network.FullyConnected(n, one, one), nil
+			case "hypercube":
+				return network.Hypercube(n, one, one), nil
+			default:
+				return nil, fmt.Errorf("unknown topology spec %q (valid: star:N, ring:N, line:N, fully:N, hypercube:D, or a JSON file)", arg)
+			}
+		}
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	topo, err := graphio.ReadTopology(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading topology %s: %w", arg, err)
+	}
+	return topo, nil
+}
+
+// preset resolves an algorithm name to its scheduler preset.
+func preset(name string) (*sched.ListScheduler, error) {
+	switch name {
+	case "BA", "ba":
+		return sched.NewBA(), nil
+	case "BA-EFT", "ba-eft", "BASinnen":
+		return sched.NewBASinnen(), nil
+	case "OIHSA", "oihsa":
+		return sched.NewOIHSA(), nil
+	case "BBSA", "bbsa":
+		return sched.NewBBSA(), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (valid: BA, BA-EFT, OIHSA, BBSA)", name)
+}
+
+// scheduleResponse is the compact /schedule reply: the placement
+// essentials without the per-link occupation detail of ?full=1.
+type scheduleResponse struct {
+	Algorithm string          `json:"algorithm"`
+	Makespan  float64         `json:"makespan"`
+	Tasks     []taskPlacement `json:"tasks"`
+	Edges     int             `json:"edges_routed"`
+}
+
+type taskPlacement struct {
+	Task   int     `json:"task"`
+	Proc   int     `json:"proc"`
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+}
+
+// newServer wires the engine into an HTTP handler. Split from main so
+// the daemon's behaviour is testable with httptest.
+func newServer(eng *sched.Engine, verifyEach bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, eng.Stats())
+	})
+	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a task graph JSON", http.StatusMethodNotAllowed)
+			return
+		}
+		g, err := graphio.ReadGraph(r.Body)
+		if err != nil {
+			http.Error(w, "bad graph: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		s, err := eng.Schedule(g)
+		if err != nil {
+			http.Error(w, err.Error(), statusOf(err))
+			return
+		}
+		if verifyEach {
+			if res := verify.Verify(s); !res.OK() {
+				http.Error(w, "schedule failed verification: "+res.Err().Error(),
+					http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("full") != "" {
+			// edgelint:ignore errflow — mid-stream write errors mean the
+			// client went away; nothing useful can be reported to it.
+			trace.WriteScheduleJSON(w, s)
+			return
+		}
+		resp := scheduleResponse{Algorithm: s.Algorithm, Makespan: s.Makespan,
+			Tasks: make([]taskPlacement, len(s.Tasks))}
+		for i, tp := range s.Tasks {
+			resp.Tasks[i] = taskPlacement{Task: int(tp.Task), Proc: int(tp.Proc),
+				Start: tp.Start, Finish: tp.Finish}
+		}
+		for _, es := range s.Edges {
+			if es != nil {
+				resp.Edges++
+			}
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+// statusOf maps engine errors to HTTP statuses: overload and drain are
+// the retryable 503s, everything else is the client's graph.
+func statusOf(err error) int {
+	if errors.Is(err, sched.ErrOverloaded) || errors.Is(err, sched.ErrEngineClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	// edgelint:ignore errflow — mid-stream write errors mean the client
+	// went away; nothing useful can be reported to it.
+	json.NewEncoder(w).Encode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edgeschedd:", err)
+	os.Exit(1)
+}

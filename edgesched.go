@@ -96,7 +96,34 @@ type (
 	EdgeSchedule = sched.EdgeSchedule
 	// Options selects the policies of the unified list scheduler.
 	Options = sched.Options
+	// RouteCache memoizes BFS routes; share one across runs (via
+	// Options.RouteCache) to amortize static route work.
+	RouteCache = network.RouteCache
 )
+
+// Serving types.
+type (
+	// Engine is a long-lived, concurrency-safe scheduling engine
+	// serving many DAGs against one shared topology.
+	Engine = sched.Engine
+	// EngineOptions configures an Engine.
+	EngineOptions = sched.EngineOptions
+	// EngineStats is a snapshot of an Engine's counters.
+	EngineStats = sched.EngineStats
+)
+
+// NewEngine builds a scheduling engine serving the given policies
+// against one immutable topology.
+func NewEngine(net *Topology, opts EngineOptions) (*Engine, error) {
+	return sched.NewEngine(net, opts)
+}
+
+// NewRouteCache returns a route cache for sharing across Schedule runs.
+func NewRouteCache(capacity int) *RouteCache { return network.NewRouteCache(capacity) }
+
+// DiffSchedules reports the first difference between two schedules
+// ("" when bit-identical); exact comparison, for determinism checks.
+func DiffSchedules(a, b *Schedule) string { return sched.DiffSchedules(a, b) }
 
 // NewGraph returns an empty task graph.
 func NewGraph() *Graph { return dag.New() }

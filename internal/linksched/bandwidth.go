@@ -94,6 +94,25 @@ type BWTimeline struct {
 // NewBWTimeline returns an idle bandwidth timeline.
 func NewBWTimeline() *BWTimeline { return &BWTimeline{} }
 
+// Reset empties the ledger in place, retaining the slab backing array
+// so a pooled scheduler state reuses it on its next request. The
+// result is indistinguishable from a fresh zero-value ledger — maxAbs
+// rewinds too, so the prune slack of a reused ledger matches a cold
+// run bit-for-bit.
+func (t *BWTimeline) Reset() {
+	t.chunks = t.chunks[:0]
+	t.nsegs = 0
+	t.maxAbs = 0
+}
+
+// ResetBWTimelines empties every ledger of the column in place,
+// retaining all backing capacity (see Reset).
+func ResetBWTimelines(ts []BWTimeline) {
+	for i := range ts {
+		ts[i].Reset()
+	}
+}
+
 // SegmentInfo exposes one segment for verification and display.
 type SegmentInfo struct {
 	Start, End float64

@@ -90,6 +90,26 @@ func NewTimeline() *Timeline { return &Timeline{} }
 // Len reports the number of occupied slots.
 func (t *Timeline) Len() int { return len(t.slots) }
 
+// Reset empties the timeline in place, retaining the slot and index
+// backing arrays so a pooled scheduler state reuses them on its next
+// request. The result is indistinguishable from a fresh zero-value
+// timeline — maxAbs rewinds too, so the float-safe pruning slack of a
+// reused timeline matches a cold run bit-for-bit.
+func (t *Timeline) Reset() {
+	t.slots = t.slots[:0]
+	t.blkEnd = t.blkEnd[:0]
+	t.blkGap = t.blkGap[:0]
+	t.maxAbs = 0
+}
+
+// ResetTimelines empties every timeline of the column in place,
+// retaining all backing capacity (see Reset).
+func ResetTimelines(ts []Timeline) {
+	for i := range ts {
+		ts[i].Reset()
+	}
+}
+
 // Slots returns the occupied slots in start order. The slice is shared;
 // do not modify.
 // edgelint:ignore aliasret — read-only iteration accessor on the hot path

@@ -611,7 +611,12 @@ func reuseAppend(e ast.Expr) bool {
 var whitelist = map[string]bool{
 	"sort.Search":                     true,
 	"sync.Mutex.Lock":                 true,
+	"sync.Mutex.TryLock":              true,
 	"sync.Mutex.Unlock":               true,
+	"sync/atomic.Int64.Add":           true,
+	"sync/atomic.Int64.Load":          true,
+	"sync/atomic.Int64.Store":         true,
+	"sync/atomic.Uint64.Add":          true,
 	"sync.RWMutex.RLock":              true,
 	"sync.RWMutex.RUnlock":            true,
 	"sync.RWMutex.Lock":               true,

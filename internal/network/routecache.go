@@ -3,6 +3,7 @@ package network
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultRouteCacheSize is the entry capacity of a route cache created
@@ -16,12 +17,36 @@ const DefaultRouteCacheSize = 4096
 // route; the schedulers' processor probes recompute it thousands of
 // times per sweep. The cache is a bounded LRU and safe for concurrent
 // use, so forked scheduler states probing candidate processors in
-// parallel can share one instance.
+// parallel — and, via sched.Engine, independent Schedule requests
+// running concurrently — can share one instance.
+//
+// The cache is internally sharded: each shard is an independent LRU
+// under its own mutex, and a (src, dst) pair hashes to exactly one
+// shard, so concurrent lookups of distinct pairs mostly touch distinct
+// locks. NewRouteCache builds a single shard (the historical
+// behaviour, exact global LRU); NewShardedRouteCache spreads the
+// capacity over a power-of-two shard count for concurrent callers.
+// Sharding changes only eviction locality, never cached values — a
+// route is a pure function of the topology either way.
+//
+// Every lock acquisition first tries a non-blocking TryLock and counts
+// the failures, so the cache measures its own mutex contention:
+// Contention() reports how many lookups/stores had to wait. The
+// engine's load statistics surface it, making "do we need more
+// shards?" a measured question instead of a guess.
 //
 // Cached routes are shared slices: callers must treat them as
 // read-only, as all scheduler code does.
 type RouteCache struct {
-	mu    sync.Mutex
+	shards []routeShard
+	mask   uint32
+}
+
+// routeShard is one independently locked LRU of the cache.
+type routeShard struct {
+	mu        sync.Mutex
+	contended atomic.Int64 // TryLock failures (lock waits)
+
 	cap   int
 	order *list.List // *routeEntry, front = most recently used
 	byKey map[routeKey]*list.Element
@@ -39,16 +64,58 @@ type routeEntry struct {
 	err   error
 }
 
-// NewRouteCache returns an empty cache holding at most capacity
-// entries (DefaultRouteCacheSize when capacity is 0 or negative).
+// NewRouteCache returns an empty single-shard cache holding at most
+// capacity entries (DefaultRouteCacheSize when capacity is 0 or
+// negative).
 func NewRouteCache(capacity int) *RouteCache {
+	return NewShardedRouteCache(capacity, 1)
+}
+
+// NewShardedRouteCache returns an empty cache of the given total
+// capacity spread over shards independently locked LRUs. The shard
+// count is rounded up to a power of two (1 when zero or negative);
+// capacity defaults like NewRouteCache and is divided evenly, so
+// per-shard eviction approximates the global LRU.
+func NewShardedRouteCache(capacity, shards int) *RouteCache {
 	if capacity <= 0 {
 		capacity = DefaultRouteCacheSize
 	}
-	return &RouteCache{
-		cap:   capacity,
-		order: list.New(),
-		byKey: make(map[routeKey]*list.Element),
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &RouteCache{shards: make([]routeShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].order = list.New()
+		c.shards[i].byKey = make(map[routeKey]*list.Element)
+	}
+	return c
+}
+
+// shard maps a node pair to its shard. The multiply-xor mix spreads
+// the low bits of both IDs so dense processor ID ranges do not pile
+// onto one shard.
+//
+// edgelint:noalloc
+func (c *RouteCache) shard(src, dst NodeID) *routeShard {
+	h := uint32(src)*0x9E3779B1 ^ uint32(dst)*0x85EBCA77
+	h ^= h >> 15
+	return &c.shards[h&c.mask]
+}
+
+// lock acquires the shard mutex, counting the acquisitions that had to
+// wait so cache contention is measured rather than guessed.
+//
+// edgelint:noalloc
+func (s *routeShard) lock() {
+	if !s.mu.TryLock() {
+		s.contended.Add(1)
+		s.mu.Lock()
 	}
 }
 
@@ -57,51 +124,88 @@ func NewRouteCache(capacity int) *RouteCache {
 //
 // edgelint:noalloc
 func (c *RouteCache) lookup(src, dst NodeID) (Route, error, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[routeKey{src, dst}]
+	s := c.shard(src, dst)
+	s.lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[routeKey{src, dst}]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, nil, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
+	s.hits++
+	s.order.MoveToFront(el)
 	e := el.Value.(*routeEntry)
 	return e.route, e.err, true
 }
 
 // store records the route (or routing error) for the pair, evicting
-// the least recently used entry when full.
+// the shard's least recently used entry when full.
 //
 // edgelint:coldpath — cache fill, once per (src, dst) pair
 func (c *RouteCache) store(src, dst NodeID, route Route, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shard(src, dst)
+	s.lock()
+	defer s.mu.Unlock()
 	key := routeKey{src, dst}
-	if el, ok := c.byKey[key]; ok {
-		c.order.MoveToFront(el)
+	if el, ok := s.byKey[key]; ok {
+		s.order.MoveToFront(el)
 		e := el.Value.(*routeEntry)
 		e.route, e.err = route, err
 		return
 	}
-	if c.order.Len() >= c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*routeEntry).key)
+	if s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*routeEntry).key)
 	}
-	c.byKey[key] = c.order.PushFront(&routeEntry{key: key, route: route, err: err})
+	s.byKey[key] = s.order.PushFront(&routeEntry{key: key, route: route, err: err})
 }
 
 // Len reports the number of cached pairs.
 func (c *RouteCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats reports the lookup hit and miss counts so far.
 func (c *RouteCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
+
+// HitRate reports the fraction of lookups served from the cache (0
+// when nothing was looked up yet).
+func (c *RouteCache) HitRate() float64 {
+	hits, misses := c.Stats()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Contention reports how many lock acquisitions (lookups, stores and
+// stat reads) found their shard mutex held and had to wait. A number
+// that grows with client count faster than the request rate is the
+// signal to raise the shard count.
+func (c *RouteCache) Contention() int64 {
+	n := int64(0)
+	for i := range c.shards {
+		n += c.shards[i].contended.Load()
+	}
+	return n
+}
+
+// NumShards reports the shard count (a power of two).
+func (c *RouteCache) NumShards() int { return len(c.shards) }

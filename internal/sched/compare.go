@@ -1,0 +1,113 @@
+package sched
+
+import "fmt"
+
+// DiffSchedules reports the first difference between two schedules, or
+// "" when they are bit-identical. Comparison is exact — == on every
+// float — because the schedules being compared are supposed to be the
+// SAME deterministic computation (an engine run vs its cold re-run, a
+// parallel-probe run vs sequential, a replayed run vs its original);
+// any drift, however small, is a determinism bug, so no tolerance is
+// applied. The Graph and Net pointers are not compared: callers decide
+// whether the inputs match; this compares the outputs.
+func DiffSchedules(a, b *Schedule) string {
+	if a == nil || b == nil {
+		if a == b {
+			return ""
+		}
+		return "one schedule is nil"
+	}
+	if a.Algorithm != b.Algorithm {
+		return fmt.Sprintf("algorithm %q vs %q", a.Algorithm, b.Algorithm)
+	}
+	if a.Ideal != b.Ideal {
+		return fmt.Sprintf("ideal %v vs %v", a.Ideal, b.Ideal)
+	}
+	if a.Switching != b.Switching {
+		return fmt.Sprintf("switching %v vs %v", a.Switching, b.Switching)
+	}
+	// edgelint:ignore floateq — bit-identity oracle, exact by design
+	if a.HopDelay != b.HopDelay {
+		return fmt.Sprintf("hop delay %v vs %v", a.HopDelay, b.HopDelay)
+	}
+	// edgelint:ignore floateq — bit-identity oracle, exact by design
+	if a.Makespan != b.Makespan {
+		return fmt.Sprintf("makespan %v vs %v", a.Makespan, b.Makespan)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		return fmt.Sprintf("%d tasks vs %d", len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			return fmt.Sprintf("task %d placement %+v vs %+v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+	if len(a.Duplicates) != len(b.Duplicates) {
+		return fmt.Sprintf("%d duplicates vs %d", len(a.Duplicates), len(b.Duplicates))
+	}
+	for i := range a.Duplicates {
+		if a.Duplicates[i] != b.Duplicates[i] {
+			return fmt.Sprintf("duplicate %d %+v vs %+v", i, a.Duplicates[i], b.Duplicates[i])
+		}
+	}
+	if len(a.Edges) != len(b.Edges) {
+		return fmt.Sprintf("%d edges vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if d := diffEdge(i, a.Edges[i], b.Edges[i]); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// diffEdge compares one edge schedule pair exactly.
+func diffEdge(i int, a, b *EdgeSchedule) string {
+	if a == nil || b == nil {
+		if a == b {
+			return ""
+		}
+		return fmt.Sprintf("edge %d scheduled in one run only", i)
+	}
+	if a.Edge != b.Edge || a.SrcProc != b.SrcProc || a.DstProc != b.DstProc {
+		return fmt.Sprintf("edge %d endpoints (%d %d→%d) vs (%d %d→%d)",
+			i, a.Edge, a.SrcProc, a.DstProc, b.Edge, b.SrcProc, b.DstProc)
+	}
+	// edgelint:ignore floateq — bit-identity oracle, exact by design
+	if a.Arrival != b.Arrival || a.Base != b.Base {
+		return fmt.Sprintf("edge %d arrival/base (%v, %v) vs (%v, %v)",
+			i, a.Arrival, a.Base, b.Arrival, b.Base)
+	}
+	if len(a.Route) != len(b.Route) {
+		return fmt.Sprintf("edge %d route length %d vs %d", i, len(a.Route), len(b.Route))
+	}
+	for j := range a.Route {
+		if a.Route[j] != b.Route[j] {
+			return fmt.Sprintf("edge %d route hop %d: link %d vs %d",
+				i, j, a.Route[j], b.Route[j])
+		}
+	}
+	if len(a.Placements) != len(b.Placements) {
+		return fmt.Sprintf("edge %d has %d placements vs %d",
+			i, len(a.Placements), len(b.Placements))
+	}
+	for j := range a.Placements {
+		pa, pb := &a.Placements[j], &b.Placements[j]
+		// edgelint:ignore floateq — bit-identity oracle, exact by design
+		if pa.Link != pb.Link || pa.Start != pb.Start || pa.Finish != pb.Finish {
+			return fmt.Sprintf("edge %d leg %d (%d [%v,%v]) vs (%d [%v,%v])",
+				i, j, pa.Link, pa.Start, pa.Finish, pb.Link, pb.Start, pb.Finish)
+		}
+		if len(pa.Chunks) != len(pb.Chunks) {
+			return fmt.Sprintf("edge %d leg %d has %d chunks vs %d",
+				i, j, len(pa.Chunks), len(pb.Chunks))
+		}
+		for k := range pa.Chunks {
+			if pa.Chunks[k] != pb.Chunks[k] {
+				return fmt.Sprintf("edge %d leg %d chunk %d %+v vs %+v",
+					i, j, k, pa.Chunks[k], pb.Chunks[k])
+			}
+		}
+	}
+	return ""
+}

@@ -119,13 +119,14 @@ func (p ProcSelect) String() string {
 	return fmt.Sprintf("ProcSelect(%d)", int(p))
 }
 
-// Engine selects the link transfer model.
-type Engine int
+// CommEngine selects the link transfer model. (Formerly named Engine;
+// that name now belongs to the long-lived scheduling engine.)
+type CommEngine int
 
 const (
 	// EngineSlots gives each communication exclusive use of a link for
 	// a contiguous interval (BA, OIHSA).
-	EngineSlots Engine = iota
+	EngineSlots CommEngine = iota
 	// EngineBandwidth lets communications share a link's bandwidth in
 	// fractions, forwarding chunks downstream no faster than they
 	// arrive (BBSA, §5).
@@ -140,7 +141,7 @@ const (
 	EnginePackets
 )
 
-func (e Engine) String() string {
+func (e CommEngine) String() string {
 	switch e {
 	case EngineSlots:
 		return "slots"
@@ -149,7 +150,7 @@ func (e Engine) String() string {
 	case EnginePackets:
 		return "packets"
 	}
-	return fmt.Sprintf("Engine(%d)", int(e))
+	return fmt.Sprintf("CommEngine(%d)", int(e))
 }
 
 // Switching selects the network switching technique, i.e. how a
@@ -266,7 +267,7 @@ type Options struct {
 	Insertion  Insertion
 	EdgeOrder  EdgeOrder
 	ProcSelect ProcSelect
-	Engine     Engine
+	Engine     CommEngine
 	CommStart  CommStart
 	// HopDelay is the switching delay added at every hop along a
 	// route. The paper neglects it ("this delay is typically very
@@ -297,6 +298,16 @@ type Options struct {
 	// the predecessor is duplicated onto the destination processor and
 	// the communication is dropped. Requires TaskAppend placement.
 	Duplication bool
+	// RouteCache, when non-nil, is consulted and warmed by this run
+	// instead of a fresh per-run cache, so the static BFS route work is
+	// amortized across every Schedule call sharing the cache. The cache
+	// is concurrency-safe and routes are pure functions of the
+	// topology, so sharing never changes a schedule — it only skips
+	// recomputing routes a previous run (or a concurrent one, see
+	// Engine) already found. It must have been used only with the same
+	// topology the run schedules against. nil keeps the historical
+	// behaviour: a private cache per run, warmed and then discarded.
+	RouteCache *network.RouteCache
 	// ProbeWorkers bounds the goroutines evaluating earliest-finish
 	// processor candidates concurrently (ProcSelectEFT only): the
 	// scheduler state is forked into that many replicas and the
@@ -465,7 +476,13 @@ func newState(g *dag.Graph, net *network.Topology, opts Options) (*state, error)
 		return nil, fmt.Errorf("sched: duplication requires the append task policy")
 	}
 	s := &state{g: g, net: net, opts: opts, mls: net.MeanLinkSpeed(), stats: &probeStats{}}
-	s.routeCache = network.NewRouteCache(0)
+	s.routeCache = opts.RouteCache
+	if s.routeCache == nil {
+		// No shared cache supplied: a private per-run cache still
+		// amortizes routes across the probes within this run, but its
+		// warmup is lost when the run ends.
+		s.routeCache = network.NewRouteCache(0)
+	}
 	s.router = net.NewRouter(s.routeCache)
 	s.routerNet = net
 	nl := net.NumLinks()
@@ -501,12 +518,22 @@ func (l *ListScheduler) Schedule(g *dag.Graph, net *network.Topology) (*Schedule
 	if err != nil {
 		return nil, err
 	}
-	order, err := priorityOrder(g, l.Opts.Priority)
+	return scheduleOn(s, l.AlgorithmName)
+}
+
+// scheduleOn runs the unified list-scheduling loop on a prepared state
+// and materializes the Schedule. It is shared by the one-shot
+// ListScheduler entry point and the long-lived Engine, whose pooled
+// states arrive here via resetFor instead of newState. The returned
+// Schedule owns s.tasks and s.dups (they escape; see Engine.put) but
+// no other state memory — materialize builds a private view.
+func scheduleOn(s *state, name string) (*Schedule, error) {
+	order, err := priorityOrder(s.g, s.opts.Priority)
 	if err != nil {
 		return nil, err
 	}
-	if l.Opts.ProcSelect == ProcSelectEFT && net.NumProcessors() > 1 {
-		s.fork(probeWorkers(l.Opts))
+	if s.opts.ProcSelect == ProcSelectEFT && s.net.NumProcessors() > 1 {
+		s.fork(probeWorkers(s.opts))
 		defer s.releaseForks()
 	}
 	for _, tid := range order {
@@ -519,14 +546,14 @@ func (l *ListScheduler) Schedule(g *dag.Graph, net *network.Topology) (*Schedule
 		}
 	}
 	return &Schedule{
-		Algorithm:  l.AlgorithmName,
-		Graph:      g,
-		Net:        net,
+		Algorithm:  name,
+		Graph:      s.g,
+		Net:        s.net,
 		Tasks:      s.tasks,
 		Edges:      s.edges.materialize(),
 		Makespan:   makespan(s.tasks),
-		HopDelay:   l.Opts.HopDelay,
-		Switching:  l.Opts.Switching,
+		HopDelay:   s.opts.HopDelay,
+		Switching:  s.opts.Switching,
 		Duplicates: s.dups,
 	}, nil
 }

@@ -400,7 +400,7 @@ func TestStoreAndForwardVerifiesAndIsSlower(t *testing.T) {
 		})
 		net := network.RandomCluster(r, network.RandomClusterParams{
 			Processors: 10, ProcSpeed: network.Uniform(1), LinkSpeed: network.Uniform(1)})
-		for _, engine := range []sched.Engine{sched.EngineSlots, sched.EngineBandwidth} {
+		for _, engine := range []sched.CommEngine{sched.EngineSlots, sched.EngineBandwidth} {
 			ct := sched.NewOIHSA().Opts
 			ct.Engine = engine
 			if engine == sched.EngineBandwidth {
@@ -679,7 +679,7 @@ func TestCustomAblationCombos(t *testing.T) {
 		for _, ins := range []sched.Insertion{sched.InsertionBasic, sched.InsertionOptimal} {
 			for _, eo := range []sched.EdgeOrder{sched.EdgeOrderFIFO, sched.EdgeOrderDescCost, sched.EdgeOrderAscCost} {
 				for _, ps := range []sched.ProcSelect{sched.ProcSelectEFT, sched.ProcSelectEstimate, sched.ProcSelectNoComm} {
-					for _, en := range []sched.Engine{sched.EngineSlots, sched.EngineBandwidth, sched.EnginePackets} {
+					for _, en := range []sched.CommEngine{sched.EngineSlots, sched.EngineBandwidth, sched.EnginePackets} {
 						for _, cs := range []sched.CommStart{sched.CommAtReady, sched.CommAtSourceFinish} {
 							a := sched.NewCustom("combo", sched.Options{
 								Routing: routing, Insertion: ins, EdgeOrder: eo,

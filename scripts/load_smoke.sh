@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end serving smoke: start edgeschedd on a small
+# built-in topology, drive it with edgeload for a few seconds, and
+# require zero errors and non-zero throughput. edgeload exits non-zero
+# on either, and the daemon must drain cleanly on SIGTERM, so this
+# script's exit code is the gate.
+#
+# Usage: scripts/load_smoke.sh [duration] [clients]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+DURATION="${1:-5s}"
+CLIENTS="${2:-4}"
+TMP="$(mktemp -d)"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/edgeschedd" ./cmd/edgeschedd
+go build -o "$TMP/edgeload" ./cmd/edgeload
+
+"$TMP/edgeschedd" -topology star:8 -algo OIHSA \
+    -addr 127.0.0.1:0 -addr-file "$TMP/addr" -self-check-every 50 &
+DAEMON_PID=$!
+
+# The address file appears once the daemon is listening.
+for _ in $(seq 1 100); do
+    [ -s "$TMP/addr" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { echo "load-smoke: daemon died at startup" >&2; exit 1; }
+    sleep 0.1
+done
+[ -s "$TMP/addr" ] || { echo "load-smoke: daemon never wrote its address" >&2; exit 1; }
+
+"$TMP/edgeload" -url "http://$(cat "$TMP/addr")" \
+    -clients "$CLIENTS" -duration "$DURATION" -tasks 20 -out "$TMP/LOAD.json"
+
+# Graceful drain: SIGTERM must lead to a clean exit 0.
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+    echo "load-smoke: daemon did not drain cleanly" >&2
+    exit 1
+fi
+echo "load-smoke: OK"
